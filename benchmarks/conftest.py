@@ -1,0 +1,55 @@
+"""Benchmark-suite configuration.
+
+Each figure benchmark runs its (reduced-scale) sweep exactly once via
+``benchmark.pedantic`` -- these are *experiment reproductions*, so the
+interesting output is the printed series, not the wall time, but the
+wall time still lands in the pytest-benchmark table for the record.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_DURATION``  seconds measured per point (default 4)
+* ``REPRO_BENCH_RATES``     comma-separated rates (default "500,800,1100")
+
+Set ``REPRO_BENCH_RATES=500,600,700,800,900,1000,1100`` and
+``REPRO_BENCH_DURATION=20`` for the paper-scale run recorded in
+EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+BENCH_DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "4"))
+BENCH_RATES = tuple(
+    float(r) for r in os.environ.get("REPRO_BENCH_RATES",
+                                     "500,800,1100").split(","))
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Run a figure builder once under the benchmark timer and print it."""
+
+    def run(builder, **kwargs):
+        kwargs.setdefault("rates", BENCH_RATES)
+        kwargs.setdefault("duration", BENCH_DURATION)
+        figure = benchmark.pedantic(
+            lambda: builder(**kwargs), rounds=1, iterations=1)
+        print()
+        print(figure.render())
+        return figure
+
+    return run
+
+
+@pytest.fixture
+def point_runner(benchmark):
+    """Run a list of BenchmarkPoints once under the benchmark timer."""
+    from repro.bench.harness import run_point
+
+    def run(points):
+        def execute():
+            return [run_point(p) for p in points]
+
+        return benchmark.pedantic(execute, rounds=1, iterations=1)
+
+    return run

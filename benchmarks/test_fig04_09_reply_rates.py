@@ -1,0 +1,83 @@
+"""Figures 4-9: reply rate vs request rate, thttpd poll() vs /dev/poll.
+
+Each benchmark regenerates one figure's series (avg/min/max reply rate
+against targeted request rate at a fixed inactive load) and asserts the
+shape the paper reports for it.
+"""
+
+from repro.bench import figures
+
+from conftest import BENCH_RATES
+
+
+def test_fig04_stock_thttpd_load1(figure_runner):
+    """Fig 4: fine at low rates; breaks down at the top of the sweep."""
+    fig = figure_runner(figures.fig04)
+    sweep = fig.sweeps["thttpd"]
+    first = sweep.points[0]
+    assert first.reply_rate.avg >= 0.9 * first.point.rate
+    assert first.error_percent <= 2.0
+
+
+def test_fig05_devpoll_thttpd_load1(figure_runner):
+    """Fig 5: 'the modified server performs well at all request rates'."""
+    fig = figure_runner(figures.fig05)
+    sweep = fig.sweeps["thttpd-devpoll"]
+    for p in sweep.points:
+        assert p.reply_rate.avg >= 0.85 * p.point.rate
+        assert p.error_percent <= 2.0
+
+
+def test_fig06_stock_thttpd_load251(figure_runner):
+    """Fig 6: breakdown comes sooner with 251 inactive connections."""
+    fig = figure_runner(figures.fig06)
+    sweep = fig.sweeps["thttpd"]
+    top = sweep.points[-1]
+    # at the top of the sweep the offered rate is far from achieved
+    assert top.reply_rate.avg < 0.8 * top.point.rate
+    assert top.error_percent > 5.0
+
+
+def test_fig07_devpoll_thttpd_load251(figure_runner):
+    """Fig 7: 'performs almost as well as a server with no inactive
+    connections' -- and (fig 10) zero errors at 251 inactive."""
+    fig = figure_runner(figures.fig07)
+    sweep = fig.sweeps["thttpd-devpoll"]
+    for p in sweep.points:
+        assert p.reply_rate.avg >= 0.85 * p.point.rate
+        assert p.error_percent <= 2.0
+
+
+def test_fig08_stock_thttpd_load501(figure_runner):
+    """Fig 8: inactive-connection processing dominates at ALL rates."""
+    fig = figure_runner(figures.fig08)
+    sweep = fig.sweeps["thttpd"]
+    for p in sweep.points[1:]:
+        assert p.reply_rate.avg < 0.85 * p.point.rate
+    assert sweep.points[-1].error_percent > 15.0
+
+
+def test_fig09_devpoll_thttpd_load501(figure_runner):
+    """Fig 9: handles 501 inactive connections 'with ease'; only the
+    extreme end of the sweep shows strain."""
+    fig = figure_runner(figures.fig09)
+    sweep = fig.sweeps["thttpd-devpoll"]
+    for p in sweep.points:
+        assert p.reply_rate.avg >= 0.8 * p.point.rate
+    moderate = [p for p in sweep.points if p.point.rate <= 800]
+    for p in moderate:
+        assert p.error_percent <= 2.0
+
+
+def test_fig04_vs_fig05_breakdown_ordering(figure_runner):
+    """The pairwise claim: at the top rate, devpoll sustains at least as
+    much as stock poll, with fewer errors."""
+    f4 = figure_runner(figures.fig04, rates=(BENCH_RATES[-1],))
+    f5 = figures.fig05(rates=(BENCH_RATES[-1],), duration=4.0)
+    p4 = f4.sweeps["thttpd"].points[-1]
+    p5 = f5.sweeps["thttpd-devpoll"].points[-1]
+    print()
+    print(f4.table)
+    print(f5.table)
+    assert p5.reply_rate.avg >= p4.reply_rate.avg - 20
+    assert p5.error_percent <= p4.error_percent + 0.5

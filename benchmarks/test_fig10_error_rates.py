@@ -1,0 +1,41 @@
+"""Figure 10: connection-error percentage, poll() vs /dev/poll.
+
+"For stock thttpd, the error rate increases slowly to 60% of all
+connections.  thttpd using /dev/poll experiences only sporadic errors.
+In fact, when using /dev/poll, we measured no connection errors for
+benchmarks with fewer than 501 inactive connections."
+"""
+
+from repro.bench import figures
+
+
+def test_fig10_error_rates(figure_runner):
+    fig = figure_runner(figures.fig10)
+
+    poll_251 = fig.sweeps["normal poll, load 251"]
+    dev_251 = fig.sweeps["using devpoll, load 251"]
+    poll_501 = fig.sweeps["normal poll, load 501"]
+    dev_501 = fig.sweeps["using devpoll, load 501"]
+
+    # devpoll below 501 inactive: (near) zero errors at every rate
+    assert all(e <= 2.0 for e in dev_251.series("errors_pct"))
+
+    # stock poll errors grow with offered rate and dominate devpoll's
+    poll_errs_251 = poll_251.series("errors_pct")
+    assert poll_errs_251[-1] > 5.0
+    assert poll_errs_251[-1] >= poll_errs_251[0]
+
+    poll_errs_501 = poll_501.series("errors_pct")
+    assert poll_errs_501[-1] > 15.0
+
+    # at every shared rate, poll errors >= devpoll errors
+    for pe, de in zip(poll_errs_251, dev_251.series("errors_pct")):
+        assert pe >= de - 0.5
+    for pe, de in zip(poll_errs_501, dev_501.series("errors_pct")):
+        assert pe >= de - 0.5
+
+    # error composition is the paper's classes
+    top = poll_501.points[-1].httperf.errors
+    assert top.timeouts > 0
+    assert top.total == (top.fd_unavail + top.timeouts + top.refused
+                         + top.other)

@@ -1,0 +1,63 @@
+"""Figures 11-13: phhttpd (RT signals) under growing inactive load.
+
+Figures 12/13 hinge on the inactive-connection reconnect herd (driven by
+the server's idle-timeout sweep), so their measurement window must span
+at least one herd cycle: their duration floor is 8 s regardless of the
+CI scale knob.
+"""
+
+from repro.bench import figures
+
+from conftest import BENCH_DURATION
+
+HERD_DURATION = max(BENCH_DURATION, 8.0)
+
+
+def test_fig11_phhttpd_load1(figure_runner):
+    """Fig 11: 'performance at lower request rates compares with the
+    best performance of other servers.  Very high request rates cause
+    the server to falter' (per-event system-call overhead)."""
+    fig = figure_runner(figures.fig11)
+    sweep = fig.sweeps["phhttpd"]
+    low = sweep.points[0]
+    assert low.reply_rate.avg >= 0.9 * low.point.rate
+    assert low.error_percent <= 1.0
+    # at the top of the sweep it does worse relative to the target than
+    # at the bottom (the falter)
+    top = sweep.points[-1]
+    assert (top.reply_rate.avg / top.point.rate
+            < low.reply_rate.avg / low.point.rate + 0.01)
+
+
+def test_fig12_phhttpd_load251(figure_runner):
+    """Fig 12: 'with some inactive connections present, the server
+    reaches its performance knee sooner.'"""
+    fig = figure_runner(figures.fig12, duration=HERD_DURATION)
+    sweep = fig.sweeps["phhttpd"]
+    low = sweep.points[0]
+    top = sweep.points[-1]
+    assert low.error_percent <= 1.0
+    assert low.median_conn_ms < 10.0          # signal mode: fast
+    # the knee: the top of the sweep loses substantially more of its
+    # target than the bottom does
+    assert (top.reply_rate.avg / top.point.rate
+            < low.reply_rate.avg / low.point.rate - 0.05)
+
+
+def test_fig13_phhttpd_load501(figure_runner):
+    """Fig 13: at 501 inactive connections the reconnect herd overflows
+    the RT queue early, phhttpd melts down into its poll sibling, and
+    'this server scales less well' than thttpd using /dev/poll."""
+    fig = figure_runner(figures.fig13, duration=HERD_DURATION)
+    sweep = fig.sweeps["phhttpd"]
+    for p in sweep.points:
+        server = p.server
+        assert server.mode == "polling"       # overflowed during the run
+        assert server.overflow_at is not None
+        assert server.handoffs > 0            # one-at-a-time meltdown
+    # compare against devpoll at the same top rate: phhttpd is worse
+    dev = figures.fig09(rates=(sweep.points[-1].point.rate,),
+                        duration=4.0).sweeps["thttpd-devpoll"].points[-1]
+    phh_top = sweep.points[-1]
+    assert phh_top.reply_rate.avg <= dev.reply_rate.avg + 10
+    assert phh_top.reply_rate.min <= dev.reply_rate.min

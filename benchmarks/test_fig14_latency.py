@@ -1,0 +1,46 @@
+"""Figure 14: median connection time at 251 inactive connections.
+
+"phhttpd indeed serves requests with a median latency 1-3 milliseconds
+faster than the /dev/poll-based thttpd server across a wide range of
+offered load.  After sufficiently high load, however, phhttpd's median
+response latency leaps to over 120ms per request, while thttpd's
+response increases only slightly."
+"""
+
+import os
+
+from repro.bench import figures
+
+# the crossover needs rates straddling ~900 req/s
+FIG14_RATES = tuple(
+    float(r) for r in os.environ.get("REPRO_BENCH_RATES_FIG14",
+                                     "700,900,1100").split(","))
+# post-overflow behaviour must dominate the run for the median to jump,
+# so the duration floor is 12 s regardless of the CI scale knob
+FIG14_DURATION = max(
+    float(os.environ.get("REPRO_BENCH_DURATION", "12")), 12.0)
+
+
+def test_fig14_median_latency(figure_runner):
+    fig = figure_runner(figures.fig14, rates=FIG14_RATES,
+                        duration=FIG14_DURATION)
+    devpoll = fig.series["devpoll"]
+    poll = fig.series["normal poll"]
+    phh = fig.series["phhttpd"]
+
+    # left of the crossover: phhttpd beats devpoll, devpoll beats poll
+    assert phh[0] < devpoll[0]
+    assert devpoll[0] < poll[0]
+
+    # right of the crossover (top rate): phhttpd's median leaps by an
+    # order of magnitude while devpoll's rises only modestly
+    assert phh[-1] > 10 * phh[0]
+    assert phh[-1] > 100.0          # "over 120ms" at paper scale
+    assert phh[-1] > devpoll[-1]
+
+    # phhttpd's jump coincides with its signal-queue overflow
+    phh_top = fig.sweeps["phhttpd"].points[-1]
+    assert phh_top.server.overflow_at is not None
+
+    # devpoll stays the most stable of the three at the top
+    assert devpoll[-1] <= poll[-1] * 1.2

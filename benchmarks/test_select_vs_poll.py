@@ -1,0 +1,42 @@
+"""select() vs poll() thttpd builds -- the pre-history of section 3.
+
+Not a paper figure (the paper starts from poll), but the natural baseline
+column: select pays everything poll pays plus bitmap copies proportional
+to the highest watched descriptor.
+"""
+
+from repro.bench import BenchmarkPoint, format_table
+
+RATE = 400.0
+INACTIVE = 251
+DURATION = 4.0
+
+
+def test_select_vs_poll_vs_devpoll(point_runner):
+    points = [
+        BenchmarkPoint(server=server, rate=RATE, inactive=INACTIVE,
+                       duration=DURATION, seed=0)
+        for server in ("thttpd-select", "thttpd", "thttpd-devpoll")
+    ]
+    select_r, poll_r, devpoll_r = point_runner(points)
+
+    rows = [(r.point.server, r.reply_rate.avg, r.error_percent,
+             r.median_conn_ms, 100 * r.cpu_utilization)
+            for r in (select_r, poll_r, devpoll_r)]
+    print()
+    print(format_table(
+        ["server", "avg reply/s", "errors %", "median ms", "cpu %"],
+        rows, title=f"fdwatch backends @ {RATE:.0f}/s, {INACTIVE} inactive"))
+
+    # select is never better than poll; both are far behind /dev/poll
+    assert select_r.median_conn_ms >= poll_r.median_conn_ms * 0.8
+    assert devpoll_r.median_conn_ms < poll_r.median_conn_ms
+    assert devpoll_r.median_conn_ms < select_r.median_conn_ms
+    assert devpoll_r.error_percent <= min(select_r.error_percent,
+                                          poll_r.error_percent) + 0.5
+
+    # and the bitmap-copy category only exists for the select build
+    select_cats = select_r.testbed.server_kernel.cpu.busy_by_category
+    poll_cats = poll_r.testbed.server_kernel.cpu.busy_by_category
+    assert select_cats.get("select.bitmaps", 0) > 0
+    assert poll_cats.get("select.bitmaps", 0) == 0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: inactive connections vs. event model.
+
+Sweeps the inactive-connection count at a fixed request rate for all
+four servers and prints the comparison the paper's sections 5.1/5.2
+build up to: stock poll() degrades with idle state, /dev/poll does not,
+RT signals are fast until their queue pathology bites, and the hybrid
+has both virtues.
+
+Run:  python examples/inactive_connections.py [--rate 500] [--duration 5]
+"""
+
+import argparse
+
+from repro.bench import BenchmarkPoint, format_table, run_point
+
+SERVERS = ("thttpd", "thttpd-devpoll", "phhttpd", "hybrid")
+LOADS = (1, 126, 251, 501)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=500.0,
+                        help="targeted request rate (default 500/s)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="measured seconds per point (default 5)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rows = []
+    for server in SERVERS:
+        for load in LOADS:
+            result = run_point(BenchmarkPoint(
+                server=server, rate=args.rate, inactive=load,
+                duration=args.duration, seed=args.seed))
+            extra = ""
+            if server in ("phhttpd", "hybrid"):
+                mode = getattr(result.server, "mode", "-")
+                extra = mode
+            rows.append((server, load, result.reply_rate.avg,
+                         result.reply_rate.min, result.error_percent,
+                         result.median_conn_ms,
+                         100 * result.cpu_utilization, extra))
+            print(f"  done: {server} @ load {load}")
+
+    print()
+    print(format_table(
+        ["server", "inactive", "avg reply/s", "min", "errors %",
+         "median ms", "cpu %", "mode"],
+        rows,
+        title=(f"Inactive-connection sweep at {args.rate:.0f} req/s "
+               f"({args.duration:.0f}s per point)"),
+    ))
+    print()
+    print("Reading guide (matches the paper):")
+    print(" * thttpd: median latency grows with every idle fd "
+          "(poll scans + fdwatch linear checks);")
+    print(" * thttpd-devpoll: flat -- interests live in the kernel, "
+          "hints skip idle fds;")
+    print(" * phhttpd: fastest while in signal mode; at 501 inactive the "
+          "reconnect herd overflows the RT queue and it melts down into "
+          "its poll sibling;")
+    print(" * hybrid: crosses over and back instead of melting down.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation figures (figures 4-14).
+
+Each figure is re-run on the simulated testbed and rendered as a data
+table plus an ASCII plot.  Defaults are CI-scale; pass ``--paper-scale``
+for the full 500..1100 sweep at longer duration (slow: tens of minutes).
+
+Usage:
+    python examples/paper_figures.py --list
+    python examples/paper_figures.py fig05 fig08
+    python examples/paper_figures.py all --duration 8
+    python examples/paper_figures.py all --paper-scale --out results.txt
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.sweeps import PAPER_RATES, QUICK_RATES
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figures", nargs="*",
+                        help="figure ids (fig04..fig14) or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available figures and exit")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="measured seconds per point")
+    parser.add_argument("--rates", type=str, default=None,
+                        help="comma-separated request rates")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="full 500..1100 sweep, 20s per point")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None,
+                        help="also append rendered output to this file")
+    parser.add_argument("--json", type=str, default=None,
+                        help="directory to write per-figure JSON records")
+    args = parser.parse_args()
+
+    if args.list or not args.figures:
+        print("available figures:")
+        for fig_id in sorted(ALL_FIGURES):
+            print(f"  {fig_id}")
+        print("\nusage: python examples/paper_figures.py fig05 [...]")
+        return 0
+
+    if args.paper_scale:
+        rates = list(PAPER_RATES)
+        duration = 20.0
+    else:
+        rates = list(QUICK_RATES)
+        duration = 5.0
+    if args.rates:
+        rates = [float(r) for r in args.rates.split(",")]
+    if args.duration:
+        duration = args.duration
+
+    wanted = sorted(ALL_FIGURES) if "all" in args.figures else args.figures
+    unknown = [f for f in wanted if f not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}", file=sys.stderr)
+        return 1
+
+    chunks = []
+    for fig_id in wanted:
+        start = time.time()
+        print(f"[{fig_id}] running (rates={rates}, duration={duration}s "
+              f"per point)...", flush=True)
+        figure = ALL_FIGURES[fig_id](rates=rates, duration=duration,
+                                     seed=args.seed)
+        if args.json:
+            import os
+
+            from repro.bench.records import dump_figure_record
+
+            os.makedirs(args.json, exist_ok=True)
+            dump_figure_record(figure,
+                               os.path.join(args.json, f"{fig_id}.json"))
+        rendered = figure.render()
+        chunks.append(rendered)
+        print(rendered)
+        print(f"[{fig_id}] done in {time.time() - start:.0f}s wall\n",
+              flush=True)
+
+    if args.out:
+        with open(args.out, "a") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

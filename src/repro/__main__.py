@@ -1,0 +1,95 @@
+"""``python -m repro`` -- a tiny front door.
+
+Subcommands:
+
+* ``info``                      -- package + reproduction summary
+* ``point SERVER RATE LOAD``    -- run one benchmark point
+* ``figures [ids...]``          -- regenerate paper figures (like
+                                   examples/paper_figures.py)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(_args) -> int:
+    """Print package, server, and figure inventory."""
+    import repro
+    from repro.bench.harness import SERVER_KINDS
+    from repro.bench.figures import ALL_FIGURES
+
+    print(f"repro {repro.__version__} -- reproduction of "
+          f"'Scalable Network I/O in Linux' (Provos & Lever, 2000)")
+    print(f"servers : {', '.join(sorted(SERVER_KINDS))}")
+    print(f"figures : {', '.join(sorted(ALL_FIGURES))}")
+    print("docs    : README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def cmd_point(args) -> int:
+    """Run one benchmark point and print its headline numbers."""
+    from repro.bench import BenchmarkPoint, run_point
+
+    result = run_point(BenchmarkPoint(
+        server=args.server, rate=args.rate, inactive=args.inactive,
+        duration=args.duration, seed=args.seed))
+    rr = result.reply_rate
+    print(f"{args.server} @ {args.rate:.0f}/s, {args.inactive} inactive, "
+          f"{args.duration:.0f}s:")
+    print(f"  replies/s avg {rr.avg:.1f}  min {rr.min:.1f}  max {rr.max:.1f}"
+          f"  stddev {rr.stddev:.1f}")
+    print(f"  errors {result.error_percent:.2f}%   "
+          f"median {result.median_conn_ms:.2f} ms   "
+          f"cpu {100 * result.cpu_utilization:.0f}%")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """Regenerate the requested figures at CLI-chosen scale."""
+    from repro.bench.figures import ALL_FIGURES
+
+    wanted = args.ids or sorted(ALL_FIGURES)
+    for fig_id in wanted:
+        if fig_id not in ALL_FIGURES:
+            print(f"unknown figure {fig_id!r}", file=sys.stderr)
+            return 1
+        figure = ALL_FIGURES[fig_id](rates=tuple(args.rates),
+                                     duration=args.duration, seed=args.seed)
+        print(figure.render())
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    """argparse front door; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("info", help="package summary")
+
+    p_point = sub.add_parser("point", help="run one benchmark point")
+    p_point.add_argument("server")
+    p_point.add_argument("rate", type=float)
+    p_point.add_argument("inactive", type=int)
+    p_point.add_argument("--duration", type=float, default=5.0)
+    p_point.add_argument("--seed", type=int, default=0)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("ids", nargs="*")
+    p_fig.add_argument("--rates", type=float, nargs="+",
+                       default=[500, 800, 1100])
+    p_fig.add_argument("--duration", type=float, default=5.0)
+    p_fig.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    if args.command == "point":
+        return cmd_point(args)
+    if args.command == "figures":
+        return cmd_figures(args)
+    return cmd_info(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

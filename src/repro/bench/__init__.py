@@ -1,0 +1,73 @@
+"""Benchmark harness: testbed, httperf client, sweeps, paper figures."""
+
+from .calibration import (
+    CapacityEstimate,
+    cpu_breakdown,
+    measure_capacity,
+    per_request_cost_us,
+)
+from .figures import ALL_FIGURES, FigureResult
+from .harness import (
+    SERVER_KINDS,
+    BenchmarkPoint,
+    PointResult,
+    make_server,
+    run_point,
+)
+from .httperf import HttperfClient, HttperfConfig, HttperfResult
+from .inactive import InactiveConnectionPool, InactivePoolConfig
+from .records import (
+    dump_figure_record,
+    figure_record,
+    load_figure_record,
+    point_record,
+    sweep_record,
+)
+from .reporting import (ascii_histogram, ascii_plot, format_table,
+                        reply_rate_table)
+from .sweeps import (
+    PAPER_LOADS,
+    PAPER_RATES,
+    QUICK_RATES,
+    SweepResult,
+    run_rate_sweep,
+)
+from .testbed import CLIENT_HOST, SERVER_HOST, SERVER_PORT, Testbed, TestbedConfig
+
+__all__ = [
+    "ALL_FIGURES",
+    "BenchmarkPoint",
+    "CLIENT_HOST",
+    "CapacityEstimate",
+    "cpu_breakdown",
+    "measure_capacity",
+    "per_request_cost_us",
+    "FigureResult",
+    "HttperfClient",
+    "HttperfConfig",
+    "HttperfResult",
+    "InactiveConnectionPool",
+    "InactivePoolConfig",
+    "PAPER_LOADS",
+    "PAPER_RATES",
+    "PointResult",
+    "QUICK_RATES",
+    "SERVER_HOST",
+    "SERVER_KINDS",
+    "SERVER_PORT",
+    "SweepResult",
+    "Testbed",
+    "TestbedConfig",
+    "ascii_histogram",
+    "dump_figure_record",
+    "figure_record",
+    "load_figure_record",
+    "point_record",
+    "sweep_record",
+    "ascii_plot",
+    "format_table",
+    "make_server",
+    "reply_rate_table",
+    "run_point",
+    "run_rate_sweep",
+]

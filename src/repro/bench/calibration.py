@@ -1,0 +1,84 @@
+"""Capacity probing and CPU-breakdown tools.
+
+The reproduction matches the paper's *shapes*, which depend on where each
+server's saturation knee falls.  These helpers measure the knee and
+attribute CPU so cost-model changes can be validated quantitatively
+(DESIGN.md records the calibration targets: ~1000-1100 req/s at load 1
+on the 0.4-speed server host).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .harness import BenchmarkPoint, PointResult, run_point
+
+
+@dataclass
+class CapacityEstimate:
+    """Result of a capacity bisection: the knee plus every probe taken."""
+
+    server: str
+    inactive: int
+    capacity: float                 # replies/s at the knee
+    probes: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - presentation only
+        return (f"{self.server} @ {self.inactive} inactive: "
+                f"~{self.capacity:.0f} replies/s")
+
+
+def measure_capacity(server: str, inactive: int = 1,
+                     low: float = 100.0, high: float = 2000.0,
+                     tolerance: float = 50.0, duration: float = 4.0,
+                     seed: int = 0,
+                     server_opts: Optional[Dict[str, Any]] = None,
+                     sustain_fraction: float = 0.95) -> CapacityEstimate:
+    """Bisect for the highest offered rate the server still sustains.
+
+    A rate is "sustained" when the measured average reply rate reaches
+    ``sustain_fraction`` of it with under 2% errors.  Returns the knee
+    estimate plus every probe taken.
+    """
+    probes: List[Tuple[float, float]] = []
+
+    def sustained(rate: float) -> bool:
+        result = run_point(BenchmarkPoint(
+            server=server, rate=rate, inactive=inactive,
+            duration=duration, seed=seed,
+            server_opts=dict(server_opts or {})))
+        probes.append((rate, result.reply_rate.avg))
+        return (result.reply_rate.avg >= sustain_fraction * rate
+                and result.error_percent < 2.0)
+
+    if not sustained(low):
+        return CapacityEstimate(server, inactive, 0.0, probes)
+    if sustained(high):
+        return CapacityEstimate(server, inactive, high, probes)
+    lo, hi = low, high
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if sustained(mid):
+            lo = mid
+        else:
+            hi = mid
+    return CapacityEstimate(server, inactive, lo, probes)
+
+
+def cpu_breakdown(result: PointResult, top: int = 12) -> List[Tuple[str, float, float]]:
+    """(category, seconds, share-of-busy) rows for one benchmark point."""
+    by_cat = result.testbed.server_kernel.cpu.busy_by_category
+    busy = sum(by_cat.values()) or 1.0
+    rows = sorted(by_cat.items(), key=lambda kv: -kv[1])[:top]
+    return [(cat, secs, secs / busy) for cat, secs in rows]
+
+
+def per_request_cost_us(result: PointResult) -> Optional[float]:
+    """Average server CPU microseconds consumed per successful reply."""
+    replies = result.httperf.replies_ok
+    if replies == 0:
+        return None
+    busy = sum(
+        result.testbed.server_kernel.cpu.busy_by_category.values())
+    return 1e6 * busy / replies

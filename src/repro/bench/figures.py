@@ -1,0 +1,198 @@
+"""Regenerate every figure in the paper's evaluation (figures 4-14).
+
+Each ``figXX`` function runs the sweeps that produced that figure and
+returns a :class:`FigureResult` carrying the raw points, the plotted
+series, and a rendered table + ASCII plot.  ``duration`` and ``rates``
+default to paper-shape-but-CI-friendly values; pass
+``rates=PAPER_RATES, duration=35.0`` (or ``num_conns=35000`` via
+``base_point``) for a paper-scale run.
+
+Figures 1-3 of the paper are struct listings, reproduced as the
+dataclasses in :mod:`repro.core.pollfd` and :mod:`repro.kernel.signals`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .reporting import ascii_plot, format_table, reply_rate_table
+from .sweeps import PAPER_RATES, SweepResult, run_rate_sweep
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: plotted series + raw sweeps + rendering."""
+
+    figure_id: str
+    title: str
+    x_rates: List[float]
+    series: Dict[str, List[float]]
+    sweeps: Dict[str, SweepResult] = field(default_factory=dict)
+    table: str = ""
+
+    def render(self, width: int = 64, height: int = 14) -> str:
+        """ASCII plot plus the data table, ready for a terminal."""
+        plot = ascii_plot(self.series, self.x_rates, width=width,
+                          height=height, title=f"{self.figure_id}: {self.title}")
+        return f"{plot}\n\n{self.table}"
+
+
+def _reply_rate_figure(figure_id: str, title: str, server: str,
+                       inactive: int, rates: Sequence[float],
+                       duration: float, seed: int,
+                       server_opts: Optional[dict] = None) -> FigureResult:
+    sweep = run_rate_sweep(server, inactive, rates=rates, duration=duration,
+                           seed=seed, server_opts=server_opts)
+    xs = sweep.rates()
+    series = {
+        "Average": sweep.series("avg"),
+        "Min": sweep.series("min"),
+        "Max": sweep.series("max"),
+    }
+    table = reply_rate_table(xs, sweep.series("avg"), sweep.series("min"),
+                             sweep.series("max"), sweep.series("stddev"),
+                             f"{figure_id}: {title}")
+    return FigureResult(figure_id, title, xs, series,
+                        sweeps={server: sweep}, table=table)
+
+
+# ---------------------------------------------------------------------------
+# figures 4-9: thttpd vs thttpd+/dev/poll reply rates at 3 inactive loads
+# ---------------------------------------------------------------------------
+
+def fig04(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0) -> FigureResult:
+    """Figure 4: stock thttpd with normal poll(), 1 inactive connection."""
+    return _reply_rate_figure(
+        "fig04", "stock thttpd, normal poll(), load 1",
+        "thttpd", 1, rates, duration, seed)
+
+
+def fig05(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0) -> FigureResult:
+    """Figure 5: thttpd using /dev/poll, 1 inactive connection."""
+    return _reply_rate_figure(
+        "fig05", "thttpd using /dev/poll, load 1",
+        "thttpd-devpoll", 1, rates, duration, seed)
+
+
+def fig06(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0) -> FigureResult:
+    """Figure 6: stock thttpd with normal poll(), 251 inactive."""
+    return _reply_rate_figure(
+        "fig06", "stock thttpd, normal poll(), load 251",
+        "thttpd", 251, rates, duration, seed)
+
+
+def fig07(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0) -> FigureResult:
+    """Figure 7: thttpd using /dev/poll, 251 inactive."""
+    return _reply_rate_figure(
+        "fig07", "thttpd using /dev/poll, load 251",
+        "thttpd-devpoll", 251, rates, duration, seed)
+
+
+def fig08(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0) -> FigureResult:
+    """Figure 8: stock thttpd with normal poll(), 501 inactive."""
+    return _reply_rate_figure(
+        "fig08", "stock thttpd, normal poll(), load 501",
+        "thttpd", 501, rates, duration, seed)
+
+
+def fig09(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0) -> FigureResult:
+    """Figure 9: thttpd using /dev/poll, 501 inactive."""
+    return _reply_rate_figure(
+        "fig09", "thttpd using /dev/poll, load 501",
+        "thttpd-devpoll", 501, rates, duration, seed)
+
+
+# ---------------------------------------------------------------------------
+# figure 10: error percentage, loads 251 and 501
+# ---------------------------------------------------------------------------
+
+def fig10(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0, loads: Sequence[int] = (251, 501)) -> FigureResult:
+    """Figure 10: connection-error percentage, poll vs /dev/poll."""
+    series: Dict[str, List[float]] = {}
+    sweeps: Dict[str, SweepResult] = {}
+    xs: List[float] = list(rates)
+    rows = []
+    for load in loads:
+        for server, label in (("thttpd-devpoll", "using devpoll"),
+                              ("thttpd", "normal poll")):
+            sweep = run_rate_sweep(server, load, rates=rates,
+                                   duration=duration, seed=seed)
+            key = f"{label}, load {load}"
+            series[key] = sweep.series("errors_pct")
+            sweeps[key] = sweep
+            for p in sweep.points:
+                rows.append((load, label, p.point.rate, p.error_percent))
+    table = format_table(["load", "server", "req rate", "errors %"], rows,
+                         "fig10: connection error percentage")
+    return FigureResult("fig10", "error rate, poll vs /dev/poll",
+                        xs, series, sweeps=sweeps, table=table)
+
+
+# ---------------------------------------------------------------------------
+# figures 11-13: phhttpd reply rates at 3 inactive loads
+# ---------------------------------------------------------------------------
+
+def fig11(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0) -> FigureResult:
+    """Figure 11: phhttpd (RT signals), 1 inactive connection."""
+    return _reply_rate_figure(
+        "fig11", "phhttpd (RT signals), load 1",
+        "phhttpd", 1, rates, duration, seed)
+
+
+def fig12(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0) -> FigureResult:
+    """Figure 12: phhttpd (RT signals), 251 inactive."""
+    return _reply_rate_figure(
+        "fig12", "phhttpd (RT signals), load 251",
+        "phhttpd", 251, rates, duration, seed)
+
+
+def fig13(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0) -> FigureResult:
+    """Figure 13: phhttpd (RT signals), 501 inactive."""
+    return _reply_rate_figure(
+        "fig13", "phhttpd (RT signals), load 501",
+        "phhttpd", 501, rates, duration, seed)
+
+
+# ---------------------------------------------------------------------------
+# figure 14: median connection time at load 251
+# ---------------------------------------------------------------------------
+
+def fig14(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+          seed: int = 0, inactive: int = 251) -> FigureResult:
+    """Figure 14: median connection time, devpoll/poll/phhttpd."""
+    series: Dict[str, List[float]] = {}
+    sweeps: Dict[str, SweepResult] = {}
+    rows = []
+    for server, label in (("thttpd-devpoll", "devpoll"),
+                          ("thttpd", "normal poll"),
+                          ("phhttpd", "phhttpd")):
+        sweep = run_rate_sweep(server, inactive, rates=rates,
+                               duration=duration, seed=seed)
+        series[label] = sweep.series("median_ms")
+        sweeps[label] = sweep
+        for p in sweep.points:
+            rows.append((label, p.point.rate,
+                         p.row()["median_ms"]))
+    table = format_table(["server", "req rate", "median conn ms"], rows,
+                         f"fig14: median connection time, load {inactive}")
+    return FigureResult("fig14", "median connection time (ms)",
+                        list(rates), series, sweeps=sweeps, table=table)
+
+
+#: registry used by examples/paper_figures.py and the benchmark suite
+ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
+    "fig04": fig04, "fig05": fig05, "fig06": fig06, "fig07": fig07,
+    "fig08": fig08, "fig09": fig09, "fig10": fig10, "fig11": fig11,
+    "fig12": fig12, "fig13": fig13, "fig14": fig14,
+}

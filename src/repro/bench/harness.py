@@ -1,0 +1,190 @@
+"""Run one benchmark point: (server kind, request rate, inactive load).
+
+This is the unit the paper's figures are made of.  A point builds a fresh
+testbed (so TIME-WAIT state never leaks across points -- the simulated
+equivalent of the authors waiting out the sixty seconds between runs),
+ramps up the inactive-connection pool, runs httperf at the targeted rate,
+and reports the reply-rate summary, error percentage, and median
+connection time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..http.content import StaticSite
+from ..servers.base import BaseServer
+from ..servers.hybrid import HybridConfig, HybridServer
+from ..servers.phhttpd import PhhttpdConfig, PhhttpdServer
+from ..servers.thttpd import ThttpdServer
+from ..servers.thttpd_select import ThttpdSelectServer
+from ..servers.thttpd_devpoll import DevpollServerConfig, ThttpdDevpollServer
+from ..sim.stats import RateSummary
+from .httperf import HttperfClient, HttperfConfig, HttperfResult
+from .inactive import InactiveConnectionPool, InactivePoolConfig
+from .testbed import Testbed, TestbedConfig
+
+#: server-kind registry: name -> factory(kernel, site, **opts) -> BaseServer
+SERVER_KINDS: Dict[str, Callable[..., BaseServer]] = {
+    "thttpd": ThttpdServer,
+    "thttpd-select": ThttpdSelectServer,
+    "thttpd-devpoll": ThttpdDevpollServer,
+    "phhttpd": PhhttpdServer,
+    "hybrid": HybridServer,
+}
+
+#: default per-kind config classes (so server_opts can be plain kwargs)
+_CONFIG_CLASSES = {
+    "thttpd": None,
+    "thttpd-select": None,
+    "thttpd-devpoll": DevpollServerConfig,
+    "phhttpd": PhhttpdConfig,
+    "hybrid": HybridConfig,
+}
+
+
+@dataclass
+class BenchmarkPoint:
+    """Everything defining one benchmark run (one x-position of a figure)."""
+
+    server: str = "thttpd"
+    rate: float = 500.0
+    inactive: int = 1
+    duration: float = 10.0
+    num_conns: Optional[int] = None
+    seed: int = 0
+    timeout: float = 5.0
+    client_fd_limit: int = 16384
+    #: kwargs for the server's config dataclass (e.g. use_mmap=False)
+    server_opts: Dict[str, Any] = field(default_factory=dict)
+    #: override the served document size (default: the paper's 6 KB)
+    document_bytes: Optional[int] = None
+    #: or serve a whole size distribution; each connection requests a
+    #: uniformly drawn document (section 5's size-distribution remark)
+    document_sizes: Optional[list] = None
+    testbed: Optional[TestbedConfig] = None
+    #: grace period after the last connection launches, letting stragglers
+    #: finish or time out before results are read
+    drain: float = 0.0
+
+
+@dataclass
+class PointResult:
+    """The measurements run_point() extracted for one BenchmarkPoint."""
+
+    point: BenchmarkPoint
+    reply_rate: RateSummary
+    error_percent: float
+    median_conn_ms: Optional[float]
+    httperf: HttperfResult
+    server_stats: Any
+    server: BaseServer
+    testbed: Testbed
+    cpu_utilization: float
+    inactive_reconnects: int
+    time_wait_server: int
+    time_wait_client: int
+
+    def row(self) -> Dict[str, float]:
+        """The numbers a figure plots for this x-position."""
+        return {
+            "rate": self.point.rate,
+            "avg": self.reply_rate.avg,
+            "min": self.reply_rate.min,
+            "max": self.reply_rate.max,
+            "stddev": self.reply_rate.stddev,
+            "errors_pct": self.error_percent,
+            "median_ms": (self.median_conn_ms
+                          if self.median_conn_ms is not None else float("nan")),
+        }
+
+
+def make_server(kind: str, kernel, site: Optional[StaticSite] = None,
+                **opts) -> BaseServer:
+    """Instantiate a server by registry name with config kwargs."""
+    try:
+        factory = SERVER_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown server kind {kind!r}; choose from {sorted(SERVER_KINDS)}"
+        ) from None
+    config_cls = _CONFIG_CLASSES.get(kind)
+    if opts:
+        if config_cls is None:
+            from ..servers.base import ServerConfig
+
+            config = ServerConfig(**opts)
+        else:
+            config = config_cls(**opts)
+        return factory(kernel, site, config)
+    return factory(kernel, site)
+
+
+def run_point(point: BenchmarkPoint) -> PointResult:
+    """Execute one benchmark point from a cold testbed."""
+    tb_config = point.testbed if point.testbed is not None else TestbedConfig(
+        seed=point.seed)
+    testbed = Testbed(tb_config)
+    doc_paths = None
+    if point.document_sizes:
+        site = StaticSite.size_distribution(point.document_sizes)
+        doc_paths = site.paths()
+    elif point.document_bytes is not None:
+        site = StaticSite.single_document(point.document_bytes)
+    else:
+        site = StaticSite()
+    server = make_server(point.server, testbed.server_kernel, site,
+                         **point.server_opts)
+    server.start()
+    testbed.run(until=testbed.sim.now + 0.1)  # let the listener come up
+
+    # ramp up the inactive load and wait for it to be fully established
+    pool = InactiveConnectionPool(
+        testbed, InactivePoolConfig(count=point.inactive))
+    pool.start()
+    ramp_deadline = testbed.sim.now + 30.0
+    while (not pool.all_connected.triggered
+           and testbed.sim.now < ramp_deadline):
+        testbed.run(until=testbed.sim.now + 0.25)
+
+    measure_start = testbed.sim.now
+    busy_before = testbed.server_kernel.cpu.busy_time
+    client = HttperfClient(testbed, HttperfConfig(
+        rate=point.rate,
+        duration=point.duration,
+        num_conns=point.num_conns,
+        timeout=point.timeout,
+        fd_limit=point.client_fd_limit,
+        doc_paths=doc_paths,
+    ))
+    client.start()
+    # run until every connection resolved (success or error); the client
+    # timeout bounds this, so add it to the horizon
+    horizon = (measure_start + point.duration + point.timeout
+               + point.drain + 30.0)
+    while not client.done.triggered and testbed.sim.now < horizon:
+        testbed.run(until=testbed.sim.now + 0.5)
+    pool.stop()
+    server.stop()
+
+    result: HttperfResult = client.result
+    if not client.done.triggered:
+        # harness safety net -- should not happen; summarize what we have
+        result.reply_rate = client._reply_window.summary()
+    return PointResult(
+        point=point,
+        reply_rate=result.reply_rate,
+        error_percent=result.error_percent,
+        median_conn_ms=result.median_conn_time_ms(),
+        httperf=result,
+        server_stats=server.stats,
+        server=server,
+        testbed=testbed,
+        cpu_utilization=min(1.0, (
+            (testbed.server_kernel.cpu.busy_time - busy_before)
+            / max(1e-9, testbed.sim.now - measure_start))),
+        inactive_reconnects=pool.reconnects,
+        time_wait_server=testbed.server_stack.time_wait_count,
+        time_wait_client=testbed.client_stack.time_wait_count,
+    )

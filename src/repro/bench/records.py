@@ -1,0 +1,128 @@
+"""Serializable experiment records.
+
+Reproduction runs are only useful if they can be archived and diffed, so
+every result object can be flattened to plain JSON-compatible dicts:
+point → sweep → figure.  `examples/paper_figures.py --json` writes these;
+`load_figure_record` reads them back for comparison scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .figures import FigureResult
+from .harness import PointResult
+from .sweeps import SweepResult
+
+RECORD_VERSION = 1
+
+
+def point_record(result: PointResult) -> Dict[str, Any]:
+    """Flatten one benchmark point to JSON-compatible data."""
+    point = result.point
+    record = {
+        "server": point.server,
+        "rate": point.rate,
+        "inactive": point.inactive,
+        "duration": point.duration,
+        "seed": point.seed,
+        "timeout": point.timeout,
+        "server_opts": {k: repr(v) if not isinstance(
+            v, (int, float, str, bool, type(None))) else v
+            for k, v in point.server_opts.items()},
+        "reply_rate": {
+            "avg": result.reply_rate.avg,
+            "min": result.reply_rate.min,
+            "max": result.reply_rate.max,
+            "stddev": result.reply_rate.stddev,
+            "samples": result.reply_rate.samples,
+        },
+        "errors": result.httperf.errors.as_dict(),
+        "error_percent": result.error_percent,
+        "median_conn_ms": result.median_conn_ms,
+        "latency_ms": result.httperf.latency_summary_ms(),
+        "attempts": result.httperf.attempts,
+        "replies_ok": result.httperf.replies_ok,
+        "cpu_utilization": result.cpu_utilization,
+        "time_wait_server": result.time_wait_server,
+        "server_stats": {
+            "accepts": result.server_stats.accepts,
+            "responses": result.server_stats.responses,
+            "io_errors": result.server_stats.io_errors,
+            "idle_closes": result.server_stats.idle_closes,
+            "stale_events": result.server_stats.stale_events,
+            "loops": result.server_stats.loops,
+        },
+    }
+    mode = getattr(result.server, "mode", None)
+    if mode is not None:
+        record["mode"] = mode
+    overflow_at = getattr(result.server, "overflow_at", None)
+    if overflow_at is not None:
+        record["overflow_at"] = overflow_at
+    return record
+
+
+def sweep_record(sweep: SweepResult) -> Dict[str, Any]:
+    """Flatten a rate sweep (one figure line) to JSON-compatible data."""
+    return {
+        "server": sweep.server,
+        "inactive": sweep.inactive,
+        "points": [point_record(p) for p in sweep.points],
+    }
+
+
+def figure_record(figure: FigureResult) -> Dict[str, Any]:
+    """Flatten a whole regenerated figure to JSON-compatible data."""
+    return {
+        "record_version": RECORD_VERSION,
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_rates": list(figure.x_rates),
+        "series": {name: list(vals) for name, vals in figure.series.items()},
+        "sweeps": {label: sweep_record(s)
+                   for label, s in figure.sweeps.items()},
+    }
+
+
+def dump_figure_record(figure: FigureResult, path: str) -> None:
+    """Write a figure record as pretty-printed JSON."""
+    with open(path, "w") as fh:
+        json.dump(figure_record(figure), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_figure_record(path: str) -> Dict[str, Any]:
+    """Read a record written by dump_figure_record (version-checked)."""
+    with open(path) as fh:
+        record = json.load(fh)
+    version = record.get("record_version")
+    if version != RECORD_VERSION:
+        raise ValueError(f"unsupported record version {version!r}")
+    return record
+
+
+def compare_series(old: Dict[str, Any], new: Dict[str, Any],
+                   series: str = "Average",
+                   tolerance: float = 0.15) -> Optional[str]:
+    """Compare one plotted series between two figure records.
+
+    Returns None when every shared x-position agrees within
+    ``tolerance`` (relative), else a human-readable mismatch summary.
+    """
+    if old["figure_id"] != new["figure_id"]:
+        return (f"different figures: {old['figure_id']} vs "
+                f"{new['figure_id']}")
+    old_vals = old["series"].get(series)
+    new_vals = new["series"].get(series)
+    if old_vals is None or new_vals is None:
+        return f"series {series!r} missing"
+    mismatches = []
+    for x, a, b in zip(old["x_rates"], old_vals, new_vals):
+        scale = max(abs(a), abs(b), 1e-9)
+        if abs(a - b) / scale > tolerance:
+            mismatches.append(f"rate {x:.0f}: {a:.1f} vs {b:.1f}")
+    if mismatches:
+        return f"{old['figure_id']}/{series}: " + "; ".join(mismatches)
+    return None

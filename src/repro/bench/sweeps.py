@@ -1,0 +1,60 @@
+"""Rate sweeps: one figure = one sweep (or several overlaid).
+
+The paper sweeps the targeted request rate from 500 to 1100 requests per
+second at a fixed inactive-connection load (1, 251, or 501) for each
+server.  ``PAPER_RATES`` is that x-axis; CI-scale runs use a thinner one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from .harness import BenchmarkPoint, PointResult, run_point
+
+#: the x-axis of figures 4-14
+PAPER_RATES: Sequence[float] = (500, 600, 700, 800, 900, 1000, 1100)
+#: paper's inactive-connection loads
+PAPER_LOADS: Sequence[int] = (1, 251, 501)
+#: thin sweep for CI / pytest-benchmark
+QUICK_RATES: Sequence[float] = (500, 800, 1100)
+
+
+@dataclass
+class SweepResult:
+    """All points of one (server, inactive-load) rate sweep."""
+
+    server: str
+    inactive: int
+    points: List[PointResult]
+
+    def series(self, key: str) -> List[float]:
+        """Column across the sweep, e.g. series('avg')."""
+        return [p.row()[key] for p in self.points]
+
+    def rates(self) -> List[float]:
+        """The sweep's x-axis."""
+        return [p.point.rate for p in self.points]
+
+
+def run_rate_sweep(server: str, inactive: int,
+                   rates: Sequence[float] = PAPER_RATES,
+                   duration: float = 10.0,
+                   seed: int = 0,
+                   server_opts: Optional[Dict[str, Any]] = None,
+                   base_point: Optional[BenchmarkPoint] = None) -> SweepResult:
+    """Run the full rate sweep for one (server, inactive-load) pair."""
+    template = base_point if base_point is not None else BenchmarkPoint()
+    points = []
+    for rate in rates:
+        point = replace(
+            template,
+            server=server,
+            rate=float(rate),
+            inactive=inactive,
+            duration=duration,
+            seed=seed,
+            server_opts=dict(server_opts or {}),
+        )
+        points.append(run_point(point))
+    return SweepResult(server=server, inactive=inactive, points=points)

@@ -1,0 +1,31 @@
+"""The paper's contribution: poll(), /dev/poll with hints and mmap
+results, and RT-signal event delivery helpers."""
+
+from .backmap import BackmapLock, RwLockStats, per_socket_lock_memory
+from .devpoll import DevPollConfig, DevPollFile, DevPollStats, ResultArea
+from .interest_set import Interest, InterestSet
+from .poll_syscall import sys_poll
+from .pollfd import DP_ALLOC, DP_FREE, DP_POLL, DP_POLL_WRITE, DvPoll, PollFd
+from .rtsig import SignalNumberAllocator, arm_rtsig, disarm_rtsig
+
+__all__ = [
+    "BackmapLock",
+    "DP_ALLOC",
+    "DP_FREE",
+    "DP_POLL",
+    "DP_POLL_WRITE",
+    "DevPollConfig",
+    "DevPollFile",
+    "DevPollStats",
+    "DvPoll",
+    "Interest",
+    "InterestSet",
+    "PollFd",
+    "ResultArea",
+    "RwLockStats",
+    "SignalNumberAllocator",
+    "arm_rtsig",
+    "disarm_rtsig",
+    "per_socket_lock_memory",
+    "sys_poll",
+]

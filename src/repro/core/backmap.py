@@ -1,0 +1,86 @@
+"""Backmapping lists and their lock (section 3.2).
+
+"The /dev/poll implementation maintains this information in a
+backmapping list.  When an event occurs, the driver marks the appropriate
+file descriptor for each process in its backmapping list."
+
+Here the backmap is realised as a status listener registered on each
+watched :class:`~repro.kernel.file.File`; when the driver (socket layer)
+reports a status change, the listener marks the hint on the corresponding
+:class:`~repro.core.interest_set.Interest` and wakes DP_POLL sleepers.
+
+"At this point, all backmapping lists are protected by a single
+read-write lock.  Hints require only a read lock ... held for writing
+only when the interest set is modified."  On our uniprocessor host the
+lock never contends, but acquisitions are charged and counted so the
+per-socket-lock future-work discussion has measurable data
+(:class:`RwLockStats`; each per-socket lock would cost 8 extra bytes,
+which :func:`per_socket_lock_memory` reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.file import File
+    from .interest_set import Interest
+
+
+@dataclass
+class RwLockStats:
+    """Read/write acquisition tallies for the backmap rwlock."""
+
+    read_acquisitions: int = 0
+    write_acquisitions: int = 0
+
+
+class BackmapLock:
+    """Accounting-only read-write lock (single global one, as in the paper)."""
+
+    def __init__(self) -> None:
+        self.stats = RwLockStats()
+
+    def read_acquire(self) -> None:
+        """Hint path: "hints require only a read lock"."""
+        self.stats.read_acquisitions += 1
+
+    def write_acquire(self) -> None:
+        """Interest-set modification path (held for writing)."""
+        self.stats.write_acquisitions += 1
+
+
+def per_socket_lock_memory(socket_count: int) -> int:
+    """Extra bytes per-socket backmap locks would cost (section 3.2)."""
+    return 8 * socket_count
+
+
+def register_backmap(file: "File", interest: "Interest",
+                     lock: BackmapLock,
+                     on_hint: Callable[["Interest", int], None]) -> None:
+    """Wire ``file``'s status changes to hint-marking for ``interest``.
+
+    ``on_hint(interest, band)`` runs on every status change; for files
+    whose driver supports hinting it should mark the hint, and in all
+    cases it should wake DP_POLL sleepers.  Interest-set modification
+    takes the write lock (charged by the caller); the stored listener is
+    what the driver invokes under the read lock.
+    """
+    lock.write_acquire()
+
+    def listener(_file: "File", band: int) -> None:
+        lock.read_acquire()
+        on_hint(interest, band)
+
+    interest.listener = listener
+    file.add_status_listener(listener)
+
+
+def unregister_backmap(file: "File", interest: "Interest",
+                       lock: BackmapLock) -> None:
+    """Detach the interest's listener from the file (write-locked)."""
+    lock.write_acquire()
+    if interest.listener is not None:
+        file.remove_status_listener(interest.listener)
+        interest.listener = None

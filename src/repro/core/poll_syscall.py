@@ -1,0 +1,92 @@
+"""Classic ``poll(2)``, with the cost structure the paper sets out to fix.
+
+Per invocation the kernel must (section 3.1):
+
+1. copy the entire interest set in (`poll_copyin_per_fd` x n);
+2. invoke every file's device-driver poll callback
+   (`poll_driver_callback` x n) -- "even though the status of only one
+   file descriptor in hundreds or thousands might have changed";
+3. if nothing is ready, register on every file's wait queue and sleep
+   (`poll_waitqueue_per_fd` x n -- the expensive wait_queue manipulation
+   Brown suspects, section 6), then rescan after wakeup;
+4. copy results back out (`poll_copyout_per_ready` x ready).
+
+All four terms scale with the interest-set size; /dev/poll attacks 1, 2,
+and 4, and its hints attack 2 again.  The function returns only ready
+descriptors as ``[(fd, revents), ...]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..kernel.constants import POLL_ALWAYS, POLLNVAL
+from ..kernel.task import Task
+from ..kernel.waitqueue import WaitEntry
+from ..sim.process import wait_with_timeout
+from ..sim.resources import PRIO_USER
+
+
+def sys_poll(task: Task, interests: Sequence[Tuple[int, int]],
+             timeout: Optional[float]):
+    """Generator implementing poll(); called via SyscallInterface.poll."""
+    kernel = task.kernel
+    costs = kernel.costs
+    sim = kernel.sim
+    n = len(interests)
+
+    def charge(seconds: float, category: str):
+        if seconds > 0:
+            yield kernel.cpu.consume(seconds, PRIO_USER, category)
+
+    # 1. copy in and parse the whole interest set
+    yield from charge(costs.poll_copyin_per_fd * n, "poll.copyin")
+
+    deadline = None if timeout is None else sim.now + timeout
+
+    def scan():
+        """Invoke the driver poll callback on every descriptor."""
+        ready: List[Tuple[int, int]] = []
+        for fd, events in interests:
+            file = task.fdtable.lookup(fd)
+            if file is None or file.closed:
+                ready.append((fd, POLLNVAL))
+                continue
+            mask = file.driver_poll() & (events | POLL_ALWAYS)
+            if mask:
+                ready.append((fd, mask))
+        return ready
+
+    while True:
+        # 2. full scan, one driver callback per descriptor
+        yield from charge(costs.poll_driver_callback * n, "poll.scan")
+        ready = scan()
+        if ready or timeout == 0:
+            # 4. copy out the results
+            yield from charge(
+                costs.poll_copyout_per_ready * len(ready), "poll.copyout")
+            return ready
+        remaining: Optional[float] = None
+        if deadline is not None:
+            remaining = deadline - sim.now
+            if remaining <= 0:
+                return []
+        # 3. nothing ready: hang a wait-queue entry on every file
+        yield from charge(costs.poll_waitqueue_per_fd * n, "poll.waitqueue")
+        wake = sim.event("poll.wake")
+        entries: List[WaitEntry] = []
+
+        def on_wake(*_args) -> None:
+            if not wake.triggered:
+                wake.trigger(None)
+
+        for fd, _events in interests:
+            file = task.fdtable.lookup(fd)
+            if file is not None and not file.closed:
+                entries.append(file.wait_queue.add(on_wake, autoremove=False))
+        try:
+            yield from wait_with_timeout(sim, wake, remaining)
+        finally:
+            for entry in entries:
+                entry.queue.remove(entry)
+        # loop around: rescan (and notice deadline expiry)

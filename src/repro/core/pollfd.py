@@ -1,0 +1,49 @@
+"""The structs from figures 1 and 3 of the paper, plus /dev/poll ioctls.
+
+``PollFd`` is figure 1's ``struct pollfd``; ``DvPoll`` is figure 3's
+``struct dvpoll``.  One deliberate deviation: ``dp_timeout`` here is in
+*seconds* (float, ``None`` = block forever) for consistency with the rest
+of the simulator, where Solaris used milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..kernel.constants import poll_mask_name
+
+# ioctl request numbers for the /dev/poll device
+DP_POLL = 0xD001
+DP_ALLOC = 0xD002
+DP_FREE = 0xD003
+#: Combined update+wait in a single system call -- the section 6 future-
+#: work item ("a single ioctl() that handles both operations at once").
+DP_POLL_WRITE = 0xD004
+
+
+@dataclass
+class PollFd:
+    """struct pollfd (figure 1)."""
+
+    fd: int
+    events: int = 0
+    revents: int = 0
+
+    def __repr__(self) -> str:
+        return (f"PollFd(fd={self.fd}, events={poll_mask_name(self.events)}, "
+                f"revents={poll_mask_name(self.revents)})")
+
+
+@dataclass
+class DvPoll:
+    """struct dvpoll (figure 3).
+
+    ``dp_fds=None`` selects the mmap'd result area (section 3.3): results
+    are deposited in the shared mapping and only a count crosses the
+    kernel boundary.
+    """
+
+    dp_fds: Optional[List[PollFd]] = field(default_factory=list)
+    dp_nfds: int = 0
+    dp_timeout: Optional[float] = None

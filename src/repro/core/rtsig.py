@@ -1,0 +1,103 @@
+"""Application-side RT-signal I/O helpers (sections 2 and 6).
+
+The kernel side of RT-signal I/O (queues, ``kill_fasync``, overflow)
+lives in :mod:`repro.kernel.signals`; what an application needs on top is
+
+* :func:`arm_rtsig` -- the three fcntl() calls that attach a signal
+  number to a descriptor (``F_SETOWN``, ``F_SETSIG``, ``O_ASYNC``);
+* :class:`SignalNumberAllocator` -- per-fd signal-number assignment.
+  The paper notes "there appears to be no standard externalized function
+  available to allocate signal numbers atomically in a non-cooperative
+  environment"; this class is that missing allocator.  It can optionally
+  avoid signal 32, which glibc's LinuxThreads claims, reproducing the
+  black-box-library conflict of section 6.
+
+Assigning *unique* numbers per descriptor (phhttpd's scheme) interacts
+with dequeue order: signals drain lowest-number-first, so low-numbered
+(old) connections shadow high-numbered ones under load -- a property the
+tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+from ..kernel.constants import (
+    F_GETFL,
+    F_SETFL,
+    F_SETOWN,
+    F_SETSIG,
+    O_ASYNC,
+    O_NONBLOCK,
+    SIGRTMAX,
+    SIGRTMIN,
+)
+
+
+class SignalNumberAllocator:
+    """Round-robin allocator over the RT signal range.
+
+    With ``per_fd_unique=True`` (phhttpd's design) every live fd gets its
+    own number while numbers last, then numbers are shared round-robin.
+    With ``per_fd_unique=False`` a single number serves all fds (the
+    simpler scheme the paper contrasts).
+    """
+
+    def __init__(self, avoid_linuxthreads: bool = True,
+                 per_fd_unique: bool = True,
+                 base: Optional[int] = None):
+        low = SIGRTMIN + 1 if avoid_linuxthreads else SIGRTMIN
+        if base is not None:
+            low = base
+        if not SIGRTMIN <= low <= SIGRTMAX:
+            raise ValueError(f"base signal {low} outside RT range")
+        self.low = low
+        self.per_fd_unique = per_fd_unique
+        self._next = low
+        self.allocated: Set[int] = set()
+
+    @property
+    def signal_range(self) -> Iterator[int]:
+        """The numbers this allocator cycles through."""
+        return iter(range(self.low, SIGRTMAX + 1))
+
+    def allocate(self) -> int:
+        """Next signal number (unique per fd until the range wraps)."""
+        if not self.per_fd_unique:
+            self.allocated.add(self.low)
+            return self.low
+        signo = self._next
+        self._next += 1
+        if self._next > SIGRTMAX:
+            self._next = self.low
+        self.allocated.add(signo)
+        return signo
+
+    def sigset(self) -> Set[int]:
+        """Every signal number this allocator may have handed out."""
+        if not self.per_fd_unique:
+            return {self.low}
+        return set(range(self.low, SIGRTMAX + 1))
+
+
+def arm_rtsig(sys, fd: int, signo: int, nonblocking: bool = True):
+    """Generator: point fd's I/O events at the caller as RT signal ``signo``.
+
+    Performs the canonical sequence from phhttpd:
+    ``fcntl(F_SETOWN, pid)``, ``fcntl(F_SETSIG, signo)``, and setting
+    ``O_ASYNC`` (plus ``O_NONBLOCK`` for event-driven use).
+    """
+    yield from sys.fcntl(fd, F_SETOWN, sys.task.pid)
+    yield from sys.fcntl(fd, F_SETSIG, signo)
+    flags = yield from sys.fcntl(fd, F_GETFL)
+    flags |= O_ASYNC
+    if nonblocking:
+        flags |= O_NONBLOCK
+    yield from sys.fcntl(fd, F_SETFL, flags)
+
+
+def disarm_rtsig(sys, fd: int):
+    """Generator: stop signal delivery for fd (clears O_ASYNC)."""
+    flags = yield from sys.fcntl(fd, F_GETFL)
+    yield from sys.fcntl(fd, F_SETFL, flags & ~O_ASYNC)
+    yield from sys.fcntl(fd, F_SETSIG, 0)

@@ -1,0 +1,24 @@
+"""Minimal HTTP/1.0: messages, incremental parsing, static content."""
+
+from .content import (
+    DEFAULT_DOCUMENT_BYTES,
+    DEFAULT_DOCUMENT_PATH,
+    StaticSite,
+    synthetic_document,
+)
+from .messages import Request, Response, get_request, parse_status
+from .parser import MAX_REQUEST_BYTES, RequestParseError, RequestParser
+
+__all__ = [
+    "DEFAULT_DOCUMENT_BYTES",
+    "DEFAULT_DOCUMENT_PATH",
+    "MAX_REQUEST_BYTES",
+    "Request",
+    "RequestParseError",
+    "RequestParser",
+    "Response",
+    "StaticSite",
+    "get_request",
+    "parse_status",
+    "synthetic_document",
+]

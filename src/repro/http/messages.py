@@ -1,0 +1,75 @@
+"""Minimal HTTP/1.0 request and response objects.
+
+The benchmark serves the paper's workload: a single static 6 Kbyte
+document ("a typical index.html file from the CITI web site") fetched
+once per connection with ``Connection: close`` semantics, as httperf and
+thttpd did in 2000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+HTTP_VERSION = "HTTP/1.0"
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    version: str = HTTP_VERSION
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        lines = [f"{self.method} {self.path} {self.version}"]
+        lines.extend(f"{k}: {v}" for k, v in self.headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+@dataclass
+class Response:
+    status: int
+    body: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [f"{HTTP_VERSION} {self.status} {reason}"]
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        headers.setdefault("Content-Type", "text/html")
+        headers.setdefault("Connection", "close")
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + self.body
+
+
+def get_request(path: str, host: str = "server") -> bytes:
+    """The request bytes an httperf client sends."""
+    return Request("GET", path, headers={"Host": host,
+                                         "User-Agent": "httperf/0.8"}).encode()
+
+
+def parse_status(data: bytes) -> Optional[int]:
+    """Status code from a response prefix, or None if not parseable yet."""
+    try:
+        line_end = data.index(b"\r\n")
+    except ValueError:
+        return None
+    parts = data[:line_end].split()
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None

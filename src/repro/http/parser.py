@@ -1,0 +1,75 @@
+"""Incremental HTTP request parser.
+
+Servers feed whatever bytes ``read()`` produced; the parser buffers until
+a full request head (terminated by a blank line) is present.  Partial
+requests are exactly what the paper's *inactive connections* send -- a
+connection that never completes its request holds server state while the
+parser waits forever.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .messages import Request
+
+MAX_REQUEST_BYTES = 8192
+
+
+class RequestParseError(ValueError):
+    pass
+
+
+class RequestParser:
+    def __init__(self) -> None:
+        self._buf = b""
+        self.complete: Optional[Request] = None
+
+    @property
+    def bytes_buffered(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> Optional[Request]:
+        """Add bytes; returns the Request once the head is complete."""
+        if self.complete is not None:
+            return self.complete
+        self._buf += data
+        if len(self._buf) > MAX_REQUEST_BYTES:
+            raise RequestParseError("request head too large")
+        end = self._buf.find(b"\r\n\r\n")
+        if end < 0:
+            return None
+        self.complete = self._parse_head(self._buf[:end])
+        return self.complete
+
+    @staticmethod
+    def _parse_head(head: bytes) -> Request:
+        try:
+            text = head.decode("ascii")
+        except UnicodeDecodeError as err:
+            raise RequestParseError("non-ascii request head") from err
+        lines = text.split("\r\n")
+        parts = lines[0].split()
+        if len(parts) == 2:
+            method, path = parts
+            version = "HTTP/0.9"
+        elif len(parts) == 3:
+            method, path, version = parts
+        else:
+            raise RequestParseError(f"bad request line {lines[0]!r}")
+        if method not in ("GET", "HEAD", "POST"):
+            raise RequestParseError(f"unsupported method {method!r}")
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            if ":" not in line:
+                raise RequestParseError(f"bad header line {line!r}")
+            key, _sep, value = line.partition(":")
+            headers[key.strip()] = value.strip()
+        return Request(method=method, path=path, version=version,
+                       headers=headers)
+
+    def reset(self) -> None:
+        self._buf = b""
+        self.complete = None

@@ -1,0 +1,35 @@
+"""Simulated Linux 2.2-era kernel: tasks, files, fds, signals, syscalls."""
+
+from . import constants
+from .constants import SyscallError, errno_name, poll_mask_name
+from .costs import CLIENT_CPU_SPEED, DEFAULT_COSTS, SERVER_CPU_SPEED, CostModel
+from .fdtable import FDTable
+from .file import File, NullFile
+from .kernel import Kernel
+from .signals import SignalQueue, SignalSubsystem, Siginfo, band_to_sicode
+from .syscalls import SyscallInterface
+from .task import Task
+from .waitqueue import WaitEntry, WaitQueue
+
+__all__ = [
+    "CLIENT_CPU_SPEED",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "FDTable",
+    "File",
+    "Kernel",
+    "NullFile",
+    "SERVER_CPU_SPEED",
+    "Siginfo",
+    "SignalQueue",
+    "SignalSubsystem",
+    "SyscallError",
+    "SyscallInterface",
+    "Task",
+    "WaitEntry",
+    "WaitQueue",
+    "band_to_sicode",
+    "constants",
+    "errno_name",
+    "poll_mask_name",
+]

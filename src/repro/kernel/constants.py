@@ -1,0 +1,138 @@
+"""Kernel ABI constants: poll event bits, signals, errno values.
+
+Values match Linux 2.2 on i386 where the paper depends on them (poll bits,
+``SIGIO``, the RT signal range starting at 32 -- the paper's discussion of
+glibc's pthread implementation stealing signal 32 relies on that).
+``POLLREMOVE`` is the /dev/poll extension bit described in section 3.1.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# poll() event bits (asm-i386/poll.h, Linux 2.2)
+# ---------------------------------------------------------------------------
+POLLIN = 0x0001
+POLLPRI = 0x0002
+POLLOUT = 0x0004
+POLLERR = 0x0008
+POLLHUP = 0x0010
+POLLNVAL = 0x0020
+POLLRDNORM = 0x0040
+POLLRDBAND = 0x0080
+POLLWRNORM = 0x0100
+POLLWRBAND = 0x0200
+POLLMSG = 0x0400
+
+#: /dev/poll extension: writing an interest with this bit removes the fd
+#: from the interest set (section 3.1 of the paper).
+POLLREMOVE = 0x1000
+
+#: Bits a caller may request interest in.
+POLL_REQUESTABLE = (
+    POLLIN | POLLPRI | POLLOUT | POLLRDNORM | POLLRDBAND | POLLWRNORM | POLLWRBAND
+)
+#: Bits reported regardless of the requested interest.
+POLL_ALWAYS = POLLERR | POLLHUP | POLLNVAL
+
+
+def poll_mask_name(mask: int) -> str:
+    """Human-readable rendering of a poll bitmask, for traces and tests."""
+    names = [
+        (POLLIN, "IN"), (POLLPRI, "PRI"), (POLLOUT, "OUT"), (POLLERR, "ERR"),
+        (POLLHUP, "HUP"), (POLLNVAL, "NVAL"), (POLLRDNORM, "RDNORM"),
+        (POLLWRNORM, "WRNORM"), (POLLREMOVE, "REMOVE"),
+    ]
+    parts = [name for bit, name in names if mask & bit]
+    return "|".join(parts) if parts else "0"
+
+
+# ---------------------------------------------------------------------------
+# Signals
+# ---------------------------------------------------------------------------
+SIGIO = 29          # queue-overflow notification (classic, non-queued signal)
+SIGRTMIN = 32       # first POSIX RT signal on Linux
+SIGRTMAX = 63
+NSIG = 64
+
+#: glibc's LinuxThreads claims SIGRTMIN (32) for its own use; the paper's
+#: section 6 discusses the resulting conflict with F_SETSIG users.
+SIGRT_LINUXTHREADS = SIGRTMIN
+
+#: Default maximum RT-signal queue length (/proc/sys/kernel/rtsig-max).
+RTSIG_MAX_DEFAULT = 1024
+
+# si_code values (subset)
+SI_SIGIO = -5
+POLL_IN = 1
+POLL_OUT = 2
+POLL_MSG = 3
+POLL_ERR = 4
+POLL_PRI = 5
+POLL_HUP = 6
+
+# ---------------------------------------------------------------------------
+# fcntl
+# ---------------------------------------------------------------------------
+F_GETFL = 3
+F_SETFL = 4
+F_SETOWN = 8
+F_GETOWN = 9
+F_SETSIG = 10
+F_GETSIG = 11
+
+O_NONBLOCK = 0o4000
+O_ASYNC = 0o20000
+
+# ---------------------------------------------------------------------------
+# errno
+# ---------------------------------------------------------------------------
+EPERM = 1
+EINTR = 4
+EBADF = 9
+EAGAIN = 11
+ENOMEM = 12
+EFAULT = 14
+EBUSY = 16
+EINVAL = 22
+ENFILE = 23
+EMFILE = 24
+ENOSPC = 28
+EPIPE = 32
+ENOTSOCK = 88
+EOPNOTSUPP = 95
+EADDRINUSE = 98
+ENETUNREACH = 101
+ECONNABORTED = 103
+ECONNRESET = 104
+ENOBUFS = 105
+EISCONN = 106
+ENOTCONN = 107
+ETIMEDOUT = 110
+ECONNREFUSED = 111
+EINPROGRESS = 115
+
+_ERRNO_NAMES = {
+    EPERM: "EPERM", EINTR: "EINTR", EBADF: "EBADF", EAGAIN: "EAGAIN",
+    ENOMEM: "ENOMEM", EFAULT: "EFAULT", EBUSY: "EBUSY", EINVAL: "EINVAL",
+    ENFILE: "ENFILE", EMFILE: "EMFILE", ENOSPC: "ENOSPC", EPIPE: "EPIPE",
+    ENOTSOCK: "ENOTSOCK", EOPNOTSUPP: "EOPNOTSUPP", EADDRINUSE: "EADDRINUSE",
+    ENETUNREACH: "ENETUNREACH", ECONNABORTED: "ECONNABORTED",
+    ECONNRESET: "ECONNRESET", ENOBUFS: "ENOBUFS", EISCONN: "EISCONN",
+    ENOTCONN: "ENOTCONN", ETIMEDOUT: "ETIMEDOUT",
+    ECONNREFUSED: "ECONNREFUSED", EINPROGRESS: "EINPROGRESS",
+}
+
+
+def errno_name(code: int) -> str:
+    return _ERRNO_NAMES.get(code, f"errno({code})")
+
+
+class SyscallError(OSError):
+    """A simulated syscall failure carrying a kernel errno."""
+
+    def __init__(self, errno_code: int, message: str = ""):
+        super().__init__(errno_code, message or errno_name(errno_code))
+        self.errno_code = errno_code
+
+    def __repr__(self) -> str:
+        return f"SyscallError({errno_name(self.errno_code)})"

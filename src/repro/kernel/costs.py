@@ -1,0 +1,122 @@
+"""The CPU cost model.
+
+Every simulated kernel and userspace operation charges time against the
+host CPU using the constants below.  The constants are expressed for a
+nominal "baseline" processor; each host scales them by its CPU ``speed``
+(the paper's 400 MHz AMD K6-2 web server is modelled with ``speed=0.4``,
+its 4-way 500 MHz Xeon client with an effectively unconstrained CPU).
+
+The individual terms map one-to-one onto the costs the paper discusses:
+
+* ``poll_copyin_per_fd`` / ``poll_copyout_per_ready`` -- the interest-set
+  copy and result copy that /dev/poll (section 3.1) and the mmap result
+  area (section 3.3) eliminate;
+* ``poll_driver_callback`` -- the per-fd device-driver poll operation that
+  hints (section 3.2) avoid;
+* ``poll_waitqueue_per_fd`` -- wait_queue registration, the term Zach
+  Brown postulates gives RT signals their advantage (section 6);
+* ``rtsig_enqueue`` / ``rtsig_dequeue`` + ``syscall_entry`` -- the
+  per-event system-call overhead the paper blames for phhttpd's collapse
+  at high request rates (figure 11);
+* ``user_pollfd_build_per_fd`` -- legacy applications (thttpd, phhttpd's
+  recovery path) rebuilding their pollfd array from scratch every call
+  (section 6).
+
+Calibration targets the paper's knees, not its absolute hardware: at load
+1 the 0.4-speed server saturates between 1000 and 1100 requests/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+US = 1e-6  # microseconds, the natural unit here
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation CPU charges in seconds (baseline-processor units)."""
+
+    # -- syscall layer ------------------------------------------------
+    syscall_entry: float = 2.2 * US       # trap entry + exit + dispatch
+
+    # -- classic poll() ------------------------------------------------
+    poll_copyin_per_fd: float = 0.18 * US     # copy + parse one pollfd
+    poll_driver_callback: float = 0.95 * US   # f_op->poll() on one file
+    poll_copyout_per_ready: float = 0.28 * US
+    poll_waitqueue_per_fd: float = 0.45 * US  # add+remove wait_queue entry
+
+    # -- userspace bookkeeping around poll ------------------------------
+    user_pollfd_build_per_fd: float = 0.40 * US  # rebuild array each call
+    user_scan_per_fd: float = 0.12 * US          # scan returned revents
+    #: thttpd's fdwatch_check_fd() does a linear search of the pollfd
+    #: array for every ready descriptor it dispatches -- with hundreds of
+    #: inactive interests this, not poll() itself, is what keeps stock
+    #: thttpd from amortizing its per-loop costs over big batches.
+    user_fdwatch_check_per_fd: float = 0.40 * US
+
+    # -- /dev/poll -------------------------------------------------------
+    devpoll_update_per_fd: float = 0.85 * US     # hash insert/modify/remove
+    devpoll_poll_base: float = 1.2 * US          # DP_POLL fixed work
+    devpoll_hint_scan: float = 0.95 * US         # driver callback on a hinted fd
+    devpoll_cached_ready_recheck: float = 0.95 * US  # ready results re-evaluated
+    devpoll_full_scan_per_fd: float = 1.0 * US   # no-hints fallback: scan everything
+    devpoll_copyout_per_ready: float = 0.28 * US  # skipped when mmap'd
+    backmap_lock_acquire: float = 0.08 * US      # rwlock (read side)
+    backmap_mark_hint: float = 0.15 * US         # driver marking one backmap entry
+
+    # -- RT signals -------------------------------------------------------
+    rtsig_enqueue: float = 4.0 * US   # siginfo alloc + queue locking
+    rtsig_dequeue: float = 4.0 * US   # unqueue + copy siginfo out
+    sigio_overflow_post: float = 1.0 * US
+    #: phhttpd resets its per-connection timer state on every signal it
+    #: handles -- part of the per-event overhead the paper blames for the
+    #: server faltering under very high request rates (figure 11)
+    phhttpd_timer_update: float = 8.0 * US
+
+    # -- file descriptors / generic VFS -----------------------------------
+    fd_alloc: float = 0.9 * US
+    fcntl_op: float = 0.6 * US
+
+    # -- sockets ---------------------------------------------------------
+    sock_read_base: float = 2.6 * US
+    sock_write_base: float = 2.6 * US
+    sock_copy_per_byte: float = 0.006 * US    # ~160 MB/s copy on baseline CPU
+    sendfile_per_byte: float = 0.002 * US     # zero-copy-ish path
+    accept_op: float = 10.0 * US
+    connect_op: float = 9.0 * US
+    close_op: float = 7.0 * US
+    socket_create: float = 6.0 * US
+    fd_pass_op: float = 14.0 * US             # SCM_RIGHTS send or receive
+
+    # -- network stack / interrupts (softirq priority) --------------------
+    tcp_rx_packet: float = 8.5 * US
+    tcp_tx_packet: float = 6.5 * US
+    irq_per_packet: float = 3.0 * US
+
+    # -- application-level work (HTTP serving) ----------------------------
+    http_parse_request: float = 56.0 * US
+    http_build_response: float = 30.0 * US
+    file_cache_lookup: float = 12.0 * US
+    app_event_dispatch: float = 11.0 * US     # per-event switch/bookkeeping
+    app_log_request: float = 28.0 * US
+    app_timer_check_per_conn: float = 0.9 * US  # idle-timeout sweep, per conn
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A copy with every charge multiplied by ``factor`` (testing aid)."""
+        fields = {
+            name: getattr(self, name) * factor
+            for name in self.__dataclass_fields__  # type: ignore[attr-defined]
+        }
+        return CostModel(**fields)
+
+    def with_overrides(self, **overrides: float) -> "CostModel":
+        return replace(self, **overrides)
+
+
+#: Cost model used by all benchmarks unless a test overrides it.
+DEFAULT_COSTS = CostModel()
+
+#: Relative CPU speeds for the paper's two hosts (section 5).
+SERVER_CPU_SPEED = 0.40   # 400 MHz AMD K6-2
+CLIENT_CPU_SPEED = 8.0    # 4 x 500 MHz Xeon; never the bottleneck

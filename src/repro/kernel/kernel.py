@@ -1,0 +1,74 @@
+"""Per-host kernel instance.
+
+A :class:`Kernel` ties together one host's CPU, cost model, tasks, signal
+delivery, and (once :mod:`repro.net` attaches one) network stack.  The
+benchmark testbed builds two of these -- the small uniprocessor web server
+and the four-way client driver -- connected by a simulated Ethernet link.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.engine import Simulator
+from ..sim.resources import CPU, PRIO_SOFTIRQ
+from ..sim.stats import Counter
+from ..sim.tracing import NULL_TRACER, Tracer
+from .costs import DEFAULT_COSTS, CostModel
+from .signals import SignalSubsystem
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.stack import NetStack
+
+
+class Kernel:
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "host",
+        cpu_speed: float = 1.0,
+        costs: CostModel = DEFAULT_COSTS,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.cpu = CPU(sim, name=f"{name}.cpu", speed=cpu_speed)
+        self.costs = costs
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.signals = SignalSubsystem(self)
+        self.counters = Counter()
+        self._pid = 0
+        #: attached by repro.net.stack.NetStack.__init__
+        self.net: Optional["NetStack"] = None
+
+    # ------------------------------------------------------------------
+    def next_pid(self) -> int:
+        self._pid += 1
+        return self._pid
+
+    def new_task(self, name: str, fd_limit: int = 1024,
+                 rtsig_max: Optional[int] = None) -> Task:
+        from .constants import RTSIG_MAX_DEFAULT
+
+        return Task(
+            self, name, fd_limit=fd_limit,
+            rtsig_max=RTSIG_MAX_DEFAULT if rtsig_max is None else rtsig_max,
+        )
+
+    # ------------------------------------------------------------------
+    def charge_softirq(self, seconds: float, category: str = "softirq") -> None:
+        """Fire-and-forget CPU charge for interrupt/softirq-context work.
+
+        Nothing waits on the grant; the time simply occupies the CPU ahead
+        of user work, which is exactly how interrupt load starves a busy
+        server (the paper's "bursty and unpredictable interrupt load").
+        """
+        if seconds > 0:
+            self.cpu.consume(seconds, PRIO_SOFTIRQ, category)
+
+    def trace(self, subsystem: str, message: str) -> None:
+        self.tracer.trace(self.sim.now, subsystem, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Kernel {self.name!r}>"

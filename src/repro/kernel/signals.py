@@ -1,0 +1,218 @@
+"""POSIX RT signal queues (the section 2 / section 4 machinery).
+
+Implements the semantics the paper leans on:
+
+* ``fcntl(fd, F_SETSIG, signum)`` + ``O_ASYNC`` arms a file so the kernel
+  raises ``signum`` carrying a payload (``si_fd``, ``si_band``) whenever a
+  read/write/close-relevant status change completes (:meth:`kill_fasync`);
+* RT signals (32..63) queue, bounded by ``rtsig-max`` (default 1024);
+  classic signals such as ``SIGIO`` only set a pending bit;
+* queue overflow drops the event and raises ``SIGIO`` so the application
+  can fall back to ``poll()`` (section 2);
+* signals dequeue **lowest signal number first**, FIFO within a number --
+  the ordering behind the paper's observation that "activity on
+  lower-numbered connections can cause longer delays for activity reports
+  on higher-numbered connections";
+* events queued before ``close()`` stay on the queue, so applications can
+  observe stale fds (section 2's inappropriate-operation hazard).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional, Set
+
+from .constants import (
+    NSIG,
+    POLL_ERR,
+    POLL_HUP,
+    POLL_IN,
+    POLL_OUT,
+    POLLERR,
+    POLLHUP,
+    POLLIN,
+    POLLOUT,
+    RTSIG_MAX_DEFAULT,
+    SIGIO,
+    SIGRTMIN,
+    SI_SIGIO,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .file import File
+    from .kernel import Kernel
+    from .task import Task
+
+
+@dataclass(frozen=True)
+class Siginfo:
+    """The fields of ``siginfo_t`` the paper's figure 2 shows."""
+
+    si_signo: int
+    si_code: int = 0
+    si_band: int = 0   # pollfd.revents-equivalent bits
+    si_fd: int = -1
+
+
+def band_to_sicode(band: int) -> int:
+    """Map poll bits to the closest ``POLL_*`` si_code, as fs/fcntl.c does."""
+    if band & POLLERR:
+        return POLL_ERR
+    if band & POLLHUP:
+        return POLL_HUP
+    if band & POLLIN:
+        return POLL_IN
+    if band & POLLOUT:
+        return POLL_OUT
+    return POLL_IN
+
+
+@dataclass
+class SignalQueueStats:
+    posted: int = 0
+    dropped: int = 0
+    overflows: int = 0
+    dequeued: int = 0
+    max_depth: int = 0
+
+
+class SignalQueue:
+    """Per-task pending-signal state."""
+
+    def __init__(self, rtsig_max: int = RTSIG_MAX_DEFAULT):
+        self.rtsig_max = rtsig_max
+        self._rt_queues: Dict[int, Deque[Siginfo]] = {}
+        self._rt_count = 0
+        self._classic_pending: Dict[int, Siginfo] = {}
+        self.stats = SignalQueueStats()
+
+    # ------------------------------------------------------------------
+    def post(self, info: Siginfo) -> bool:
+        """Queue a signal.  Returns False when an RT signal was dropped
+        because the queue is full (the caller then raises SIGIO)."""
+        signo = info.si_signo
+        if not 1 <= signo < NSIG:
+            raise ValueError(f"bad signal number {signo}")
+        if signo >= SIGRTMIN:
+            if self._rt_count >= self.rtsig_max:
+                self.stats.dropped += 1
+                return False
+            self._rt_queues.setdefault(signo, deque()).append(info)
+            self._rt_count += 1
+            self.stats.posted += 1
+            self.stats.max_depth = max(self.stats.max_depth, self._rt_count)
+            return True
+        # classic signal: pending bit only; re-posting is a no-op
+        if signo not in self._classic_pending:
+            self._classic_pending[signo] = info
+            self.stats.posted += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def pending_signals(self) -> Set[int]:
+        pending = {s for s, q in self._rt_queues.items() if q}
+        pending.update(self._classic_pending)
+        return pending
+
+    def has_pending(self, sigset: Optional[Iterable[int]] = None) -> bool:
+        return self._select(sigset) is not None
+
+    def _select(self, sigset: Optional[Iterable[int]]) -> Optional[int]:
+        """Lowest pending signal number, optionally restricted to sigset."""
+        allowed = None if sigset is None else set(sigset)
+        best: Optional[int] = None
+        for signo in self._classic_pending:
+            if allowed is None or signo in allowed:
+                if best is None or signo < best:
+                    best = signo
+        for signo, queue in self._rt_queues.items():
+            if queue and (allowed is None or signo in allowed):
+                if best is None or signo < best:
+                    best = signo
+        return best
+
+    def dequeue(self, sigset: Optional[Iterable[int]] = None) -> Optional[Siginfo]:
+        """Remove and return the next signal (lowest number first, FIFO
+        within a number), or None if nothing in ``sigset`` is pending."""
+        signo = self._select(sigset)
+        if signo is None:
+            return None
+        self.stats.dequeued += 1
+        if signo < SIGRTMIN:
+            return self._classic_pending.pop(signo)
+        self._rt_count -= 1
+        return self._rt_queues[signo].popleft()
+
+    def dequeue_many(self, sigset: Optional[Iterable[int]], limit: int
+                     ) -> List[Siginfo]:
+        """Batch dequeue -- the paper's proposed ``sigtimedwait4()``."""
+        out: List[Siginfo] = []
+        while len(out) < limit:
+            info = self.dequeue(sigset)
+            if info is None:
+                break
+            out.append(info)
+        return out
+
+    # ------------------------------------------------------------------
+    def flush_rt(self) -> int:
+        """Drop all queued RT signals (the app's SIG_DFL overflow recovery
+        described in section 2).  Returns how many were discarded."""
+        flushed = self._rt_count
+        self._rt_queues.clear()
+        self._rt_count = 0
+        return flushed
+
+    def clear_classic(self, signo: int) -> None:
+        self._classic_pending.pop(signo, None)
+
+    @property
+    def rt_depth(self) -> int:
+        return self._rt_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SignalQueue rt={self._rt_count} classic={sorted(self._classic_pending)}>"
+
+
+class SignalSubsystem:
+    """Kernel-side signal delivery: owns fasync fan-out and wakeups."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+
+    def kill_fasync(self, file: "File", band: int) -> None:
+        """Deliver the fd-I/O signal armed on ``file`` (fs/fcntl.c path).
+
+        Called from driver/interrupt context; charges softirq CPU.
+        """
+        task = file.async_owner
+        if task is None:
+            return
+        costs = self.kernel.costs
+        signo = file.async_sig if file.async_sig else SIGIO
+        info = Siginfo(
+            si_signo=signo,
+            si_code=band_to_sicode(band) if file.async_sig else SI_SIGIO,
+            si_band=band,
+            si_fd=file.async_fd,
+        )
+        self.kernel.charge_softirq(costs.rtsig_enqueue, "rtsig")
+        if not task.signal_queue.post(info):
+            # RT queue overflow: raise SIGIO instead (section 2).
+            task.signal_queue.stats.overflows += 1
+            self.kernel.charge_softirq(costs.sigio_overflow_post, "rtsig")
+            task.signal_queue.post(
+                Siginfo(si_signo=SIGIO, si_code=SI_SIGIO, si_band=band,
+                        si_fd=file.async_fd)
+            )
+        task.signal_wq.wake_all()
+
+    def post_signal(self, task: "Task", info: Siginfo) -> bool:
+        """Direct signal post (kill()-style); wakes sigwait sleepers."""
+        ok = task.signal_queue.post(info)
+        if not ok:
+            task.signal_queue.stats.overflows += 1
+            task.signal_queue.post(Siginfo(si_signo=SIGIO, si_code=SI_SIGIO))
+        task.signal_wq.wake_all()
+        return ok

@@ -1,0 +1,51 @@
+"""Tasks: the schedulable, signal-receiving kernel entities.
+
+Linux 2.2 "threads" are clone()d tasks that each have their own pid and
+their own signal queue -- the paper's section 6 points out this is what
+makes RT-signal handling diverge from POSIX pthread semantics.  phhttpd's
+signal-worker and poll-sibling threads are therefore modelled as two Tasks
+that *share* an :class:`~repro.kernel.fdtable.FDTable` (CLONE_FILES) but
+have distinct signal queues.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .constants import RTSIG_MAX_DEFAULT
+from .fdtable import FDTable
+from .signals import SignalQueue
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class Task:
+    def __init__(self, kernel: "Kernel", name: str,
+                 fdtable: Optional[FDTable] = None,
+                 fd_limit: int = 1024,
+                 rtsig_max: int = RTSIG_MAX_DEFAULT):
+        self.kernel = kernel
+        self.name = name
+        self.pid = kernel.next_pid()
+        #: Pass an existing table to model CLONE_FILES threads.
+        self.fdtable = fdtable if fdtable is not None else FDTable(limit=fd_limit)
+        self.signal_queue = SignalQueue(rtsig_max=rtsig_max)
+        self.signal_wq = WaitQueue(kernel.sim, f"{name}.sigwq")
+        self.exited = False
+
+    def clone_thread(self, name: str, rtsig_max: Optional[int] = None) -> "Task":
+        """A CLONE_FILES sibling: shared fd table, own pid and signal queue."""
+        return Task(
+            self.kernel,
+            name,
+            fdtable=self.fdtable,
+            rtsig_max=self.signal_queue.rtsig_max if rtsig_max is None else rtsig_max,
+        )
+
+    def exit(self) -> None:
+        self.exited = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.name!r} pid={self.pid}>"

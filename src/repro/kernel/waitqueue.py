@@ -1,0 +1,100 @@
+"""Kernel wait queues.
+
+A :class:`WaitQueue` is a list of entries, each owning a callback.  Two
+kinds of sleeper use them:
+
+* blocking syscalls (``read`` on an empty socket) register an
+  *auto-removing* entry whose callback wakes the sleeping process;
+* ``poll``-style waits register *persistent* entries ("poll table
+  entries" in Linux) on many queues at once; the caller removes them all
+  when the poll completes.
+
+Section 6 of the paper singles out wait_queue manipulation as poll's
+expensive step -- the cost is charged by the poll implementations in
+:mod:`repro.core`, not here, so this structure stays reusable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from ..sim.engine import Event, Simulator
+
+
+class WaitEntry:
+    __slots__ = ("queue", "callback", "autoremove", "active")
+
+    def __init__(self, queue: "WaitQueue", callback: Callable[..., None],
+                 autoremove: bool):
+        self.queue = queue
+        self.callback = callback
+        self.autoremove = autoremove
+        self.active = True
+
+
+class WaitQueue:
+    def __init__(self, sim: Simulator, name: str = "wq"):
+        self.sim = sim
+        self.name = name
+        self._entries: List[WaitEntry] = []
+        self.wakeups = 0
+
+    # ------------------------------------------------------------------
+    def add(self, callback: Callable[..., None], autoremove: bool = True) -> WaitEntry:
+        entry = WaitEntry(self, callback, autoremove)
+        self._entries.append(entry)
+        return entry
+
+    def remove(self, entry: WaitEntry) -> None:
+        if entry.active:
+            entry.active = False
+            try:
+                self._entries.remove(entry)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+
+    def wake_all(self, *args: Any) -> int:
+        """Invoke every entry's callback; auto-removing entries detach first.
+
+        Returns the number of entries woken.
+        """
+        woken = 0
+        for entry in list(self._entries):
+            if not entry.active:
+                continue
+            if entry.autoremove:
+                self.remove(entry)
+            self.wakeups += 1
+            woken += 1
+            entry.callback(*args)
+        return woken
+
+    def wake_one(self, *args: Any) -> bool:
+        """Wake only the first waiter (the paper's section 6 suggests this
+        as a thundering-herd mitigation).  Returns True if one was woken."""
+        for entry in list(self._entries):
+            if entry.active:
+                if entry.autoremove:
+                    self.remove(entry)
+                self.wakeups += 1
+                entry.callback(*args)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def wait_event(self) -> Event:
+        """Convenience for blocking sleepers: an Event triggered on wake."""
+        ev = self.sim.event(f"{self.name}.wait")
+
+        def _cb(*_args: Any) -> None:
+            if not ev.triggered:
+                ev.trigger(None)
+
+        self.add(_cb, autoremove=True)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WaitQueue {self.name!r} waiters={len(self._entries)}>"

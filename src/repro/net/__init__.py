@@ -1,0 +1,38 @@
+"""Simulated network substrate: links, TCP, sockets, per-host stacks."""
+
+from .link import ETHERNET_100MBIT, LAN_LATENCY, MSS, WIRE_OVERHEAD_PER_SEGMENT, Link, Network
+from .socket import Addr, SocketFile, require_socket
+from .stack import EPHEMERAL_HIGH, EPHEMERAL_LOW, NetStack
+from .tcp import (
+    DEFAULT_RECV_BUF,
+    DEFAULT_SEND_BUF,
+    SYN_RTO_SCHEDULE,
+    TIME_WAIT_SECONDS,
+    Listener,
+    TcpEndpoint,
+    segments_for,
+)
+from .unix import UnixSocketFile
+
+__all__ = [
+    "Addr",
+    "DEFAULT_RECV_BUF",
+    "DEFAULT_SEND_BUF",
+    "EPHEMERAL_HIGH",
+    "EPHEMERAL_LOW",
+    "ETHERNET_100MBIT",
+    "LAN_LATENCY",
+    "Link",
+    "Listener",
+    "MSS",
+    "NetStack",
+    "Network",
+    "SYN_RTO_SCHEDULE",
+    "SocketFile",
+    "TIME_WAIT_SECONDS",
+    "TcpEndpoint",
+    "UnixSocketFile",
+    "WIRE_OVERHEAD_PER_SEGMENT",
+    "require_socket",
+    "segments_for",
+]

@@ -1,0 +1,122 @@
+"""Ethernet link and switch fabric.
+
+The paper's testbed is two hosts on a 100 Mbit/s switched Ethernet.  We
+model each direction of each host's switch attachment as a store-and-
+forward :class:`Link`: transmissions serialize (a link is busy while a
+frame train is on the wire), then arrive after a propagation/switch
+latency.  Acknowledgement traffic is charged as CPU cost at the endpoints
+but not as link bandwidth (40-byte ACKs at the paper's rates are < 2 % of
+a 100 Mbit/s link and would only add simulator events).
+
+:class:`Network` is the switch: it owns the per-host link pairs and moves
+opaque payload objects between network stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from ..sim.engine import SimulationError, Simulator
+
+#: Ethernet + IP + TCP header bytes added to every segment on the wire.
+WIRE_OVERHEAD_PER_SEGMENT = 58
+#: Maximum TCP payload per segment (Ethernet MSS).
+MSS = 1460
+
+ETHERNET_100MBIT = 100e6
+#: One switch hop on a quiet LAN (propagation + switching).
+LAN_LATENCY = 0.0001
+
+
+class Link:
+    """One direction of a host's switch attachment."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 bandwidth_bps: float = ETHERNET_100MBIT,
+                 latency: float = LAN_LATENCY):
+        if bandwidth_bps <= 0:
+            raise SimulationError("bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self._busy_until = 0.0
+        self.bytes_sent = 0
+        self.frames_sent = 0
+
+    def transmit(self, payload_bytes: int, segments: int,
+                 deliver: Callable[[], None]) -> float:
+        """Send ``payload_bytes`` split over ``segments`` frames.
+
+        ``deliver`` runs when the last byte arrives at the far end.
+        Returns the delivery time.
+        """
+        if segments < 1:
+            raise SimulationError("at least one segment per transmission")
+        wire_bytes = payload_bytes + segments * WIRE_OVERHEAD_PER_SEGMENT
+        tx_time = wire_bytes * 8.0 / self.bandwidth_bps
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + tx_time
+        self.bytes_sent += wire_bytes
+        self.frames_sent += segments
+        arrival = self._busy_until + self.latency
+        self.sim.schedule_at(arrival, deliver)
+        return arrival
+
+    def queue_delay(self) -> float:
+        """Seconds a new transmission would wait before starting."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_sent * 8.0 / self.bandwidth_bps) / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name!r} {self.bandwidth_bps/1e6:.0f}Mbit/s>"
+
+
+class Network:
+    """The switch connecting all hosts' stacks."""
+
+    def __init__(self, sim: Simulator,
+                 bandwidth_bps: float = ETHERNET_100MBIT,
+                 latency: float = LAN_LATENCY):
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self._stacks: Dict[str, Any] = {}        # host name -> NetStack
+        self._links: Dict[Tuple[str, str], Link] = {}
+
+    def attach(self, stack) -> None:
+        """Register a host's network stack (called by NetStack itself)."""
+        if stack.host_name in self._stacks:
+            raise SimulationError(f"duplicate host {stack.host_name!r}")
+        self._stacks[stack.host_name] = stack
+
+    def stack(self, host_name: str):
+        stack = self._stacks.get(host_name)
+        if stack is None:
+            raise SimulationError(f"unknown host {host_name!r}")
+        return stack
+
+    def _link(self, src: str, dst: str) -> Link:
+        key = (src, dst)
+        link = self._links.get(key)
+        if link is None:
+            link = Link(self.sim, f"{src}->{dst}", self.bandwidth_bps,
+                        self.latency)
+            self._links[key] = link
+        return link
+
+    def send(self, src_host: str, dst_host: str, payload_bytes: int,
+             segments: int, deliver: Callable[[], None]) -> float:
+        """Move a frame train from src to dst; ``deliver`` runs on arrival."""
+        if dst_host not in self._stacks:
+            raise SimulationError(f"no route to host {dst_host!r}")
+        return self._link(src_host, dst_host).transmit(
+            payload_bytes, segments, deliver)
+
+    def link_between(self, src: str, dst: str) -> Link:
+        """Expose a directional link for inspection in tests/benchmarks."""
+        return self._link(src, dst)

@@ -1,0 +1,135 @@
+"""Per-host network stack: ports, listeners, TIME-WAIT, CPU charging.
+
+The stack enforces the two system limitations section 5 of the paper calls
+out: the finite ephemeral-port space (~60 000 usable ports) and sockets
+lingering in TIME-WAIT for sixty seconds after close.  The benchmark
+harness reads :attr:`time_wait_count` to honour the paper's "wait for all
+sockets to leave TIME-WAIT between runs" discipline without simulating
+dead time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+from ..kernel.constants import EADDRINUSE, SyscallError
+from ..sim.stats import Counter
+from .link import Network
+from .tcp import TIME_WAIT_SECONDS, Listener, TcpEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+EPHEMERAL_LOW = 1024
+EPHEMERAL_HIGH = 61000  # exclusive; ~60k usable ports, the paper's limit
+
+
+class NetStack:
+    def __init__(self, kernel: "Kernel", network: Network,
+                 host_name: Optional[str] = None,
+                 time_wait_seconds: float = TIME_WAIT_SECONDS):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.network = network
+        self.host_name = host_name if host_name is not None else kernel.name
+        self.time_wait_seconds = time_wait_seconds
+        self.counters = Counter()
+        self._listeners: Dict[int, Listener] = {}
+        self._free_ports: Deque[int] = deque(range(EPHEMERAL_LOW, EPHEMERAL_HIGH))
+        self._ports_in_use = 0
+        self.time_wait_count = 0
+        self.open_connections = 0
+        kernel.net = self
+        network.attach(self)
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def alloc_ephemeral_port(self) -> int:
+        if not self._free_ports:
+            raise SyscallError(EADDRINUSE, "ephemeral ports exhausted")
+        self._ports_in_use += 1
+        return self._free_ports.popleft()
+
+    def release_port(self, port: int) -> None:
+        if EPHEMERAL_LOW <= port < EPHEMERAL_HIGH:
+            self._ports_in_use -= 1
+            self._free_ports.append(port)
+
+    @property
+    def ports_available(self) -> int:
+        return len(self._free_ports)
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, port: int, backlog: int) -> Listener:
+        if port in self._listeners:
+            raise SyscallError(EADDRINUSE, f"port {port} already listening")
+        listener = Listener(self, port, backlog)
+        self._listeners[port] = listener
+        return listener
+
+    def remove_listener(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def get_listener(self, port: int) -> Optional[Listener]:
+        return self._listeners.get(port)
+
+    def deliver_syn(self, client_end: TcpEndpoint, port: int) -> None:
+        self.charge_rx(1)
+        listener = self._listeners.get(port)
+        if listener is None:
+            self.counters.inc("tcp.syn_refused")
+            self.charge_tx(1)  # the RST
+            client_end.syn_refused()
+            return
+        listener.handle_syn(client_end)
+
+    # ------------------------------------------------------------------
+    # connection lifecycle accounting
+    # ------------------------------------------------------------------
+    def connection_opened(self) -> None:
+        self.open_connections += 1
+
+    def connection_closed(self, endpoint: TcpEndpoint, time_wait: bool) -> None:
+        self.open_connections = max(0, self.open_connections - 1)
+        if time_wait:
+            self.time_wait_count += 1
+            self.counters.inc("tcp.time_wait_entered")
+            self.sim.schedule(
+                self.time_wait_seconds, self._leave_time_wait, endpoint)
+        elif endpoint.owns_port:
+            self.release_port(endpoint.local_port)
+
+    def _leave_time_wait(self, endpoint: TcpEndpoint) -> None:
+        self.time_wait_count -= 1
+        if endpoint.owns_port:
+            self.release_port(endpoint.local_port)
+
+    # ------------------------------------------------------------------
+    # CPU charging (softirq context at this host)
+    # ------------------------------------------------------------------
+    def charge_tx(self, segments: int) -> None:
+        costs = self.kernel.costs
+        self.kernel.charge_softirq(
+            segments * (costs.tcp_tx_packet + costs.irq_per_packet), "net.tx")
+
+    def charge_rx(self, segments: int) -> None:
+        costs = self.kernel.costs
+        self.kernel.charge_softirq(
+            segments * (costs.tcp_rx_packet + costs.irq_per_packet), "net.rx")
+
+    def charge_ack_tx(self, acks: int) -> None:
+        costs = self.kernel.costs
+        self.kernel.charge_softirq(acks * costs.tcp_tx_packet, "net.ack")
+
+    def charge_ack_rx(self, acks: int) -> None:
+        costs = self.kernel.costs
+        self.kernel.charge_softirq(
+            acks * (costs.tcp_rx_packet + costs.irq_per_packet), "net.ack")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<NetStack {self.host_name!r} open={self.open_connections} "
+                f"tw={self.time_wait_count}>")

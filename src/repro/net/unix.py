@@ -1,0 +1,103 @@
+"""UNIX domain socket pairs with SCM_RIGHTS descriptor passing.
+
+phhttpd's RT-signal-queue overflow recovery hands every live connection,
+one at a time, from the signal-worker thread to its poll sibling "via a
+special UNIX domain socket" (section 6 of the paper).  That one-at-a-time
+handoff is a large part of why the paper predicts "server meltdown", so
+it is modelled faithfully: each message carries a payload plus open file
+references, and both ends charge the fd-passing CPU cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Sequence, Tuple
+
+from ..kernel.constants import EAGAIN, EPIPE, O_NONBLOCK, POLLHUP, POLLIN, POLLOUT, SyscallError
+from ..kernel.file import File
+from ..sim.process import wait_with_timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from ..kernel.task import Task
+
+Message = Tuple[bytes, List[File]]
+
+
+class UnixSocketFile(File):
+    file_type = "unix-socket"
+    supports_hints = False  # not a network driver; no hint modifications
+
+    def __init__(self, kernel: "Kernel"):
+        super().__init__(kernel, name="unix-sock")
+        self.peer: Optional["UnixSocketFile"] = None
+        self._inbox: Deque[Message] = deque()
+
+    @classmethod
+    def make_pair(cls, kernel: "Kernel") -> Tuple["UnixSocketFile", "UnixSocketFile"]:
+        a, b = cls(kernel), cls(kernel)
+        a.peer, b.peer = b, a
+        a.name, b.name = "unix-sock:a", "unix-sock:b"
+        return a, b
+
+    # ------------------------------------------------------------------
+    def poll_mask(self) -> int:
+        mask = 0
+        if self._inbox:
+            mask |= POLLIN
+        if self.peer is not None and not self.peer.closed:
+            mask |= POLLOUT
+        else:
+            mask |= POLLHUP
+        return mask
+
+    # ------------------------------------------------------------------
+    def send_message(self, payload: bytes, files: Sequence[File]) -> None:
+        if self.peer is None or self.peer.closed:
+            raise SyscallError(EPIPE, "peer closed")
+        in_flight = [f.get() for f in files]  # references travel in the message
+        self.peer._inbox.append((payload, in_flight))
+        self.peer.notify(POLLIN)
+
+    def recv_message(self, task: "Task", timeout: Optional[float] = None):
+        """Generator: returns ``(payload, [File, ...])`` or None on timeout."""
+        while True:
+            if self._inbox:
+                return self._inbox.popleft()
+            if self.peer is None or self.peer.closed:
+                return (b"", [])  # EOF
+            if self.f_flags & O_NONBLOCK:
+                raise SyscallError(EAGAIN, "no message queued")
+            wake = self.wait_queue.wait_event()
+            timed_out, _ = yield from wait_with_timeout(
+                self.kernel.sim, wake, timeout)
+            if timed_out:
+                return None
+
+    # SCM_RIGHTS-free stream helpers so these also serve as plain pipes
+    def do_read(self, task: "Task", nbytes: int):
+        message = yield from self.recv_message(task, None)
+        payload, files = message
+        for f in files:  # plain read drops any passed descriptors
+            f.put()
+        return payload[:nbytes]
+
+    def do_write(self, task: "Task", data: bytes):
+        if False:  # pragma: no cover - keeps this a generator
+            yield
+        self.send_message(bytes(data), [])
+        return len(data)
+
+    # ------------------------------------------------------------------
+    def on_release(self) -> None:
+        for _payload, files in self._inbox:
+            for f in files:
+                f.put()
+        self._inbox.clear()
+        if self.peer is not None:
+            peer = self.peer
+            self.peer = None
+            if not peer.closed:
+                peer.notify(POLLHUP | POLLIN)
+                peer.peer = None
+        super().on_release()

@@ -1,0 +1,33 @@
+"""The paper's web servers: thttpd (poll), thttpd+/dev/poll, phhttpd
+(RT signals), and the section-6 hybrid."""
+
+from .base import (
+    READING,
+    WRITING,
+    BaseServer,
+    Connection,
+    ServerConfig,
+    ServerStats,
+)
+from .hybrid import HybridConfig, HybridServer
+from .phhttpd import PhhttpdConfig, PhhttpdServer
+from .thttpd import ThttpdServer
+from .thttpd_devpoll import DevpollServerConfig, ThttpdDevpollServer
+from .thttpd_select import ThttpdSelectServer
+
+__all__ = [
+    "BaseServer",
+    "Connection",
+    "DevpollServerConfig",
+    "HybridConfig",
+    "HybridServer",
+    "PhhttpdConfig",
+    "PhhttpdServer",
+    "READING",
+    "ServerConfig",
+    "ServerStats",
+    "ThttpdDevpollServer",
+    "ThttpdSelectServer",
+    "ThttpdServer",
+    "WRITING",
+]

@@ -1,0 +1,307 @@
+"""Machinery shared by every web-server implementation.
+
+Each server is a simulated process (or two, for phhttpd) driving the
+syscall interface.  The shared pieces are per-connection state, statistics,
+idle-timeout sweeps, and the HTTP request/response handling sequence --
+the servers differ *only* in their event model, which is the point of the
+paper's comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..http.content import StaticSite
+from ..http.parser import RequestParseError, RequestParser
+from ..kernel.constants import (
+    EAGAIN,
+    O_NONBLOCK,
+    SyscallError,
+)
+from ..kernel.syscalls import SyscallInterface
+from ..kernel.task import Task
+from ..sim.process import Process, spawn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+READ_CHUNK = 4096
+
+# connection states
+READING = "reading"
+WRITING = "writing"
+
+
+class InterestUpdateBatch:
+    """Userspace staging of /dev/poll interest updates.
+
+    A careful application coalesces its updates before writing them: a
+    connection accepted and closed within the same event batch must not
+    reach the kernel at all (its fd may already be closed -- or worse,
+    reused -- by flush time).  Removes cancel any staged updates for the
+    same fd and are only emitted if the kernel has actually seen that
+    interest; batch order is preserved so remove-then-re-add on a reused
+    fd number stays correct.
+    """
+
+    def __init__(self) -> None:
+        from ..core.pollfd import PollFd  # local import: optional feature
+
+        self._pollfd_cls = PollFd
+        self._pending: list = []
+        self._in_kernel: set = set()
+
+    def add(self, fd: int, events: int) -> None:
+        self._pending.append(self._pollfd_cls(fd, events))
+
+    def remove(self, fd: int) -> None:
+        from ..kernel.constants import POLLREMOVE
+
+        self._pending = [p for p in self._pending if p.fd != fd]
+        if fd in self._in_kernel:
+            self._pending.append(self._pollfd_cls(fd, POLLREMOVE))
+
+    def flush(self) -> list:
+        """Take the staged updates (possibly empty) and account them."""
+        from ..kernel.constants import POLLREMOVE
+
+        updates, self._pending = self._pending, []
+        for p in updates:
+            if p.events & POLLREMOVE:
+                self._in_kernel.discard(p.fd)
+            else:
+                self._in_kernel.add(p.fd)
+        return updates
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+@dataclass
+class ServerConfig:
+    port: int = 80
+    backlog: int = 128
+    #: close connections idle longer than this (thttpd's idle_timeout,
+    #: scaled down so idle churn happens within short simulated runs)
+    idle_timeout: float = 5.0
+    #: how often the timer sweep runs
+    timer_interval: float = 2.0
+    #: server task RLIMIT_NOFILE
+    fd_limit: int = 8192
+    #: serve responses with sendfile() instead of write() (future work)
+    use_sendfile: bool = False
+    #: RT-signal queue bound for the server task (None = kernel default,
+    #: 1024 -- "normally set high enough that it is never exceeded")
+    rtsig_max: Optional[int] = None
+
+
+@dataclass
+class ServerStats:
+    accepts: int = 0
+    requests: int = 0
+    responses: int = 0
+    bytes_sent: int = 0
+    parse_errors: int = 0
+    io_errors: int = 0          # resets/EPIPE from abandoned clients
+    idle_closes: int = 0
+    accept_failures: int = 0    # EMFILE and friends
+    stale_events: int = 0       # events observed for already-closed fds
+    loops: int = 0              # event-loop iterations / signals handled
+
+
+class Connection:
+    """Server-side per-connection bookkeeping."""
+
+    __slots__ = ("fd", "state", "parser", "outbuf", "last_activity",
+                 "accepted_at", "signo")
+
+    def __init__(self, fd: int, now: float):
+        self.fd = fd
+        self.state = READING
+        self.parser = RequestParser()
+        self.outbuf = b""
+        self.last_activity = now
+        self.accepted_at = now
+        self.signo = 0  # RT signal number, when the event model uses one
+
+    def touch(self, now: float) -> None:
+        self.last_activity = now
+
+    def idle_for(self, now: float) -> float:
+        return now - self.last_activity
+
+
+class BaseServer:
+    """Common skeleton; subclasses implement ``run()`` (the event loop)."""
+
+    name = "base"
+    #: event-driven servers (phhttpd, hybrid) write the response from the
+    #: event handler itself; thttpd-family servers defer the first write
+    #: to the next fdwatch cycle, as the real thttpd does -- the source of
+    #: their small extra median latency in figure 14.
+    immediate_write = True
+
+    def __init__(self, kernel: "Kernel", site: Optional[StaticSite] = None,
+                 config: Optional[ServerConfig] = None):
+        self.kernel = kernel
+        self.site = site if site is not None else StaticSite()
+        self.config = config if config is not None else ServerConfig()
+        self.task: Task = kernel.new_task(
+            f"{self.name}", fd_limit=self.config.fd_limit,
+            rtsig_max=self.config.rtsig_max)
+        self.sys = SyscallInterface(self.task)
+        self.stats = ServerStats()
+        self.conns: Dict[int, Connection] = {}
+        self.listen_fd: int = -1
+        self.running = False
+        self._process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Process:
+        self.running = True
+        self._process = spawn(self.kernel.sim, self.run(), name=self.name)
+        return self._process
+
+    def stop(self) -> None:
+        """Ask the event loop to exit at its next iteration."""
+        self.running = False
+
+    def run(self):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # shared setup
+    # ------------------------------------------------------------------
+    def open_listener(self):
+        """socket/bind/listen/O_NONBLOCK; returns the listening fd."""
+        from ..kernel.constants import F_SETFL
+
+        sys = self.sys
+        fd = yield from sys.socket()
+        yield from sys.bind(fd, self.config.port)
+        yield from sys.listen(fd, self.config.backlog)
+        yield from sys.fcntl(fd, F_SETFL, O_NONBLOCK)
+        self.listen_fd = fd
+        self.kernel.trace(self.name, f"listening on port {self.config.port} "
+                          f"(backlog {self.config.backlog})")
+        return fd
+
+    def accept_new(self):
+        """Drain the accept queue; returns list of new Connections."""
+        from ..kernel.constants import F_SETFL
+
+        sys = self.sys
+        new = []
+        while True:
+            try:
+                fd, _addr = yield from sys.accept(self.listen_fd)
+            except SyscallError as err:
+                if err.errno_code == EAGAIN:
+                    break
+                self.stats.accept_failures += 1
+                break
+            yield from sys.fcntl(fd, F_SETFL, O_NONBLOCK)
+            conn = Connection(fd, self.kernel.sim.now)
+            self.conns[fd] = conn
+            self.stats.accepts += 1
+            new.append(conn)
+        return new
+
+    # ------------------------------------------------------------------
+    # shared request handling
+    # ------------------------------------------------------------------
+    def handle_readable(self, conn: Connection):
+        """Read and parse; on a complete request, build the response and
+        start writing it.  Returns 'open', 'closed', or 'responding'."""
+        sys = self.sys
+        costs = self.kernel.costs
+        conn.touch(self.kernel.sim.now)
+        try:
+            data = yield from sys.read(conn.fd, READ_CHUNK)
+        except SyscallError as err:
+            if err.errno_code == EAGAIN:
+                return "open"
+            self.stats.io_errors += 1
+            yield from self.close_conn(conn)
+            return "closed"
+        if data == b"":
+            # client closed before completing a request
+            yield from self.close_conn(conn)
+            return "closed"
+        try:
+            request = conn.parser.feed(data)
+        except RequestParseError:
+            self.stats.parse_errors += 1
+            yield from self.close_conn(conn)
+            return "closed"
+        if request is None:
+            return "open"  # partial request (an inactive client, usually)
+        self.stats.requests += 1
+        yield from sys.cpu_work(costs.http_parse_request, "http.parse")
+        yield from sys.cpu_work(costs.file_cache_lookup, "http.cache")
+        response = self.site.respond(request.path)
+        yield from sys.cpu_work(costs.http_build_response, "http.build")
+        conn.outbuf = response.encode()
+        conn.state = WRITING
+        if self.immediate_write:
+            result = yield from self.handle_writable(conn)
+            return "closed" if result == "closed" else "responding"
+        return "responding"
+
+    def handle_writable(self, conn: Connection):
+        """Push the response out; close when complete ('closed'/'open')."""
+        sys = self.sys
+        conn.touch(self.kernel.sim.now)
+        while conn.outbuf:
+            try:
+                if self.config.use_sendfile:
+                    sent = yield from sys.sendfile(conn.fd, conn.outbuf)
+                else:
+                    sent = yield from sys.write(conn.fd, conn.outbuf)
+            except SyscallError as err:
+                if err.errno_code == EAGAIN:
+                    return "open"
+                self.stats.io_errors += 1
+                yield from self.close_conn(conn)
+                return "closed"
+            conn.outbuf = conn.outbuf[sent:]
+            self.stats.bytes_sent += sent
+        self.stats.responses += 1
+        yield from sys.cpu_work(self.kernel.costs.app_log_request, "http.log")
+        yield from self.close_conn(conn)
+        return "closed"
+
+    def close_conn(self, conn: Connection):
+        """Tear down one connection (subclasses extend for interest/signal
+        deregistration before calling this)."""
+        if conn.fd in self.conns:
+            del self.conns[conn.fd]
+            try:
+                yield from self.sys.close(conn.fd)
+            except SyscallError:
+                pass
+
+    # ------------------------------------------------------------------
+    # idle-timeout sweep
+    # ------------------------------------------------------------------
+    def sweep_idle(self):
+        """Close connections idle past the limit; charges per-conn scan."""
+        costs = self.kernel.costs
+        now = self.kernel.sim.now
+        yield from self.sys.cpu_work(
+            costs.app_timer_check_per_conn * max(1, len(self.conns)),
+            "app.timers")
+        expired = [c for c in self.conns.values()
+                   if c.idle_for(now) > self.config.idle_timeout]
+        if expired and self.kernel.tracer.enabled:
+            self.kernel.trace(self.name,
+                              f"idle sweep closing {len(expired)} of "
+                              f"{len(self.conns)} connections")
+        for conn in expired:
+            self.stats.idle_closes += 1
+            yield from self.close_conn(conn)
+        return expired

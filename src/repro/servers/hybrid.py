@@ -1,0 +1,227 @@
+"""The hybrid server the paper imagines but could not build (sections 4/6).
+
+"Imagine a hybrid server that can switch between polling and processing
+incoming requests via RT signals" -- using the RT-signal-queue maximum as
+the crossover trigger, and, per section 6's re-architecture advice,
+maintaining the kernel interest set *concurrently* with RT-signal-queue
+activity "so switching between polling and signal queue mode [happens]
+with very little overhead".
+
+Concretely:
+
+* every descriptor is armed for RT signals **and** registered in a
+  /dev/poll interest set at all times;
+* normal operation drains the signal queue (``sigtimedwait4`` batches --
+  itself a section 6 proposal);
+* ``SIGIO`` (queue overflow) flips the server into /dev/poll mode: flush
+  the stale queue, and DP_POLL already knows the whole interest set --
+  no pollfd rebuilding, no one-connection-at-a-time handoff;
+* when DP_POLL returns at most ``low_water_ready`` events for
+  ``calm_loops`` consecutive iterations, the load has subsided: flush
+  the (stale) signal backlog, run one last zero-timeout DP_POLL sweep,
+  and return to signal mode -- the switch-back phhttpd never implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.devpoll import DevPollConfig
+from ..core.pollfd import DP_ALLOC, DP_POLL, DvPoll
+from ..core.rtsig import SignalNumberAllocator, arm_rtsig
+from ..kernel.constants import (
+    POLLERR,
+    POLLHUP,
+    POLLIN,
+    POLLNVAL,
+    POLLOUT,
+    SIGIO,
+)
+from .base import (READING, WRITING, BaseServer, Connection,
+                   InterestUpdateBatch, ServerConfig)
+
+
+@dataclass
+class HybridConfig(ServerConfig):
+    #: batch size for sigtimedwait4 (section 6: dequeue in groups)
+    signal_batch: int = 8
+    #: "calm" threshold: DP_POLL ready count at or below this ...
+    low_water_ready: int = 2
+    #: ... for this many consecutive loops switches back to signal mode
+    calm_loops: int = 50
+    use_mmap: bool = True
+    result_capacity: int = 1024
+    devpoll: DevPollConfig = field(default_factory=DevPollConfig)
+    avoid_linuxthreads: bool = True
+
+
+class HybridServer(BaseServer):
+    name = "hybrid"
+
+    def __init__(self, kernel, site=None, config: Optional[HybridConfig] = None):
+        super().__init__(kernel, site,
+                         config if config is not None else HybridConfig())
+        cfg: HybridConfig = self.config  # type: ignore[assignment]
+        self.allocator = SignalNumberAllocator(
+            avoid_linuxthreads=cfg.avoid_linuxthreads)
+        self.mode = "signals"
+        #: (time, new_mode) history -- integration tests assert on this
+        self.mode_switches: List[Tuple[float, str]] = []
+        self.listen_signo = 0
+        self.dp_fd = -1
+        self._updates = InterestUpdateBatch()
+        self._result_area = None
+
+    # ------------------------------------------------------------------
+    # interest-set bookkeeping shared by both modes
+    # ------------------------------------------------------------------
+    def _flush_updates(self):
+        if len(self._updates):
+            yield from self.sys.write(self.dp_fd, self._updates.flush())
+
+    def close_conn(self, conn: Connection):
+        if conn.fd in self.conns:
+            self._updates.remove(conn.fd)
+        yield from super().close_conn(conn)
+
+    # ------------------------------------------------------------------
+    def _switch(self, new_mode: str) -> None:
+        self.mode = new_mode
+        self.mode_switches.append((self.kernel.sim.now, new_mode))
+        self.kernel.trace("hybrid", f"mode -> {new_mode} "
+                          f"({len(self.conns)} connections live)")
+
+    def run(self):
+        sys = self.sys
+        cfg: HybridConfig = self.config  # type: ignore[assignment]
+
+        yield from self.open_listener()
+        self.listen_signo = self.allocator.allocate()
+        yield from arm_rtsig(sys, self.listen_fd, self.listen_signo)
+        self.dp_fd = yield from sys.open_devpoll(cfg.devpoll)
+        if cfg.use_mmap:
+            yield from sys.ioctl(self.dp_fd, DP_ALLOC, cfg.result_capacity)
+            self._result_area = yield from sys.mmap_devpoll(self.dp_fd)
+        self._updates.add(self.listen_fd, POLLIN)
+        self._switch("signals")
+
+        while self.running:
+            if self.mode == "signals":
+                yield from self._signal_phase()
+            else:
+                yield from self._devpoll_phase()
+
+    # ------------------------------------------------------------------
+    # signal mode
+    # ------------------------------------------------------------------
+    def _signal_phase(self):
+        sys = self.sys
+        cfg: HybridConfig = self.config  # type: ignore[assignment]
+        costs = self.kernel.costs
+        sim = self.kernel.sim
+        sigset = self.allocator.sigset() | {SIGIO}
+        next_sweep = sim.now + cfg.timer_interval
+
+        while self.running and self.mode == "signals":
+            # keep the kernel interest set current (cheap incremental write)
+            yield from self._flush_updates()
+            timeout = max(0.0, next_sweep - sim.now)
+            infos = yield from sys.sigtimedwait4(
+                sigset, cfg.signal_batch, timeout)
+            for info in infos:
+                self.stats.loops += 1
+                yield from sys.cpu_work(costs.app_event_dispatch,
+                                        "app.dispatch")
+                if info.si_signo == SIGIO:
+                    # queue overflowed: the built-in crossover trigger.
+                    # The interest set is already in the kernel, so the
+                    # switch is nearly free (no handoff, no rebuild).
+                    yield from sys.flush_rt_signals()
+                    self.task.signal_queue.clear_classic(SIGIO)
+                    self._switch("polling")
+                    return
+                if info.si_fd == self.listen_fd:
+                    yield from self._handle_listener()
+                    continue
+                conn = self.conns.get(info.si_fd)
+                if conn is None:
+                    self.stats.stale_events += 1
+                    continue
+                yield from self._dispatch(conn, info.si_band)
+            if sim.now >= next_sweep:
+                yield from self.sweep_idle()
+                next_sweep = sim.now + cfg.timer_interval
+
+    # ------------------------------------------------------------------
+    # polling mode
+    # ------------------------------------------------------------------
+    def _devpoll_phase(self):
+        sys = self.sys
+        cfg: HybridConfig = self.config  # type: ignore[assignment]
+        costs = self.kernel.costs
+        sim = self.kernel.sim
+        calm = 0
+        next_sweep = sim.now + cfg.timer_interval
+
+        while self.running and self.mode == "polling":
+            yield from self._flush_updates()
+            timeout = max(0.0, next_sweep - sim.now)
+            dvp = DvPoll(dp_fds=None if cfg.use_mmap else [],
+                         dp_nfds=cfg.result_capacity, dp_timeout=timeout)
+            ready = yield from sys.ioctl(self.dp_fd, DP_POLL, dvp)
+            self.stats.loops += 1
+            yield from sys.cpu_work(
+                costs.user_scan_per_fd * len(ready), "app.scan")
+            for pfd in ready:
+                yield from sys.cpu_work(costs.app_event_dispatch,
+                                        "app.dispatch")
+                if pfd.fd == self.listen_fd:
+                    yield from self._handle_listener()
+                    continue
+                conn = self.conns.get(pfd.fd)
+                if conn is None:
+                    self.stats.stale_events += 1
+                    continue
+                if pfd.revents & POLLNVAL:
+                    self.stats.stale_events += 1
+                    yield from self.close_conn(conn)
+                    continue
+                yield from self._dispatch(conn, pfd.revents)
+            if sim.now >= next_sweep:
+                yield from self.sweep_idle()
+                next_sweep = sim.now + cfg.timer_interval
+            # load-subsided detection
+            if len(ready) <= cfg.low_water_ready:
+                calm += 1
+                if calm >= cfg.calm_loops:
+                    # back to signal mode: drop the stale signal backlog,
+                    # then one zero-timeout sweep so nothing is lost.
+                    yield from sys.flush_rt_signals()
+                    self.task.signal_queue.clear_classic(SIGIO)
+                    self._switch("signals")
+                    return
+            else:
+                calm = 0
+
+    # ------------------------------------------------------------------
+    # shared dispatch
+    # ------------------------------------------------------------------
+    def _handle_listener(self):
+        new_conns = yield from self.accept_new()
+        for conn in new_conns:
+            conn.signo = self.allocator.allocate()
+            yield from arm_rtsig(self.sys, conn.fd, conn.signo)
+            self._updates.add(conn.fd, POLLIN)
+            if conn.fd in self.conns:
+                yield from self.handle_readable(conn)
+                if conn.fd in self.conns and conn.state == WRITING:
+                    self._updates.add(conn.fd, POLLOUT)
+
+    def _dispatch(self, conn: Connection, band: int):
+        if conn.state == READING and band & (POLLIN | POLLERR | POLLHUP):
+            result = yield from self.handle_readable(conn)
+            if result == "responding":
+                self._updates.add(conn.fd, POLLOUT)
+        elif conn.state == WRITING and band & (POLLOUT | POLLERR | POLLHUP):
+            yield from self.handle_writable(conn)

@@ -1,0 +1,76 @@
+"""Stock thttpd: the single-process poll()-based event loop.
+
+Mirrors the structure of thttpd 2.x's fdwatch main loop, including the
+behaviours the paper calls out as poll()'s weaknesses:
+
+* the pollfd array is **rebuilt from scratch every iteration**
+  ("Applications of this type often entirely rebuild their pollfd array
+  each time they invoke poll()", section 6);
+* every open connection -- active or inactive -- appears in every poll
+  call, so kernel scan cost grows with total connections, not ready ones;
+* a periodic timer sweep closes idle connections.
+"""
+
+from __future__ import annotations
+
+from ..kernel.constants import POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT
+from .base import READING, WRITING, BaseServer
+
+
+class ThttpdServer(BaseServer):
+    name = "thttpd"
+    immediate_write = False
+
+    def run(self):
+        yield from self.open_listener()
+        yield from self.poll_loop()
+
+    def poll_loop(self):
+        """The fdwatch loop proper; phhttpd's poll sibling reuses it after
+        an overflow handoff (section 6)."""
+        sys = self.sys
+        costs = self.kernel.costs
+        sim = self.kernel.sim
+        next_sweep = sim.now + self.config.timer_interval
+
+        while self.running:
+            self.stats.loops += 1
+            # thttpd rebuilds its entire pollfd array every time around
+            interests = [(self.listen_fd, POLLIN)]
+            for conn in self.conns.values():
+                events = POLLIN if conn.state == READING else POLLOUT
+                interests.append((conn.fd, events))
+            yield from sys.cpu_work(
+                costs.user_pollfd_build_per_fd * len(interests), "app.build")
+
+            timeout = max(0.0, next_sweep - sim.now)
+            ready = yield from sys.poll(interests, timeout)
+            # userspace must scan the whole returned array for revents
+            yield from sys.cpu_work(
+                costs.user_scan_per_fd * len(interests), "app.scan")
+
+            for fd, revents in ready:
+                yield from sys.cpu_work(costs.app_event_dispatch, "app.dispatch")
+                # fdwatch_check_fd(): linear search of the rebuilt array
+                yield from sys.cpu_work(
+                    costs.user_fdwatch_check_per_fd * len(interests),
+                    "app.fdwatch")
+                if fd == self.listen_fd:
+                    yield from self.accept_new()
+                    continue
+                conn = self.conns.get(fd)
+                if conn is None:
+                    self.stats.stale_events += 1
+                    continue
+                if revents & POLLNVAL:
+                    self.stats.stale_events += 1
+                    yield from self.close_conn(conn)
+                    continue
+                if conn.state == READING and revents & (POLLIN | POLLERR | POLLHUP):
+                    yield from self.handle_readable(conn)
+                elif conn.state == WRITING and revents & (POLLOUT | POLLERR | POLLHUP):
+                    yield from self.handle_writable(conn)
+
+            if sim.now >= next_sweep:
+                yield from self.sweep_idle()
+                next_sweep = sim.now + self.config.timer_interval

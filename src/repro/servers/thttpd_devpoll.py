@@ -1,0 +1,132 @@
+"""thttpd modified to use /dev/poll (the paper's section 5.1 server).
+
+Differences from stock thttpd, mirroring the authors' modification:
+
+* the interest set lives in the kernel and is updated *incrementally* --
+  adds, event-mask changes, and POLLREMOVEs are queued in userspace and
+  flushed with a single ``write()`` per loop iteration (ordering within
+  the batch keeps fd-reuse correct);
+* waiting is ``ioctl(DP_POLL)``, which returns only ready descriptors,
+  so userspace scans ready results instead of the whole interest set;
+* optionally the mmap'd result area (section 3.3) removes the result
+  copy-out, and ``DP_POLL_WRITE`` (section 6 future work) folds the
+  update write and the poll into one system call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.devpoll import DevPollConfig
+from ..core.pollfd import DP_ALLOC, DP_POLL, DP_POLL_WRITE, DvPoll
+from ..kernel.constants import (
+    POLLERR,
+    POLLHUP,
+    POLLIN,
+    POLLNVAL,
+    POLLOUT,
+)
+from .base import (READING, WRITING, BaseServer, Connection,
+                   InterestUpdateBatch, ServerConfig)
+
+
+@dataclass
+class DevpollServerConfig(ServerConfig):
+    #: share the result area between kernel and server (section 3.3)
+    use_mmap: bool = True
+    #: fold update-write + poll into one syscall (section 6 future work)
+    combined_update_poll: bool = False
+    #: maximum results per DP_POLL
+    result_capacity: int = 1024
+    #: kernel-side /dev/poll behaviour (hints, hash-vs-linear, OR-mode)
+    devpoll: DevPollConfig = field(default_factory=DevPollConfig)
+
+
+class ThttpdDevpollServer(BaseServer):
+    name = "thttpd-devpoll"
+    immediate_write = False
+
+    def __init__(self, kernel, site=None, config: Optional[DevpollServerConfig] = None):
+        super().__init__(kernel, site,
+                         config if config is not None else DevpollServerConfig())
+        self.dp_fd: int = -1
+        self._updates = InterestUpdateBatch()
+        self._result_area = None
+
+    # ------------------------------------------------------------------
+    # interest maintenance
+    # ------------------------------------------------------------------
+    def close_conn(self, conn: Connection):
+        # Stage the interest removal; the batch coalesces it away entirely
+        # if the kernel never saw this fd (accepted and closed in the same
+        # loop), keeping fd reuse correct.
+        if conn.fd in self.conns:
+            self._updates.remove(conn.fd)
+        yield from super().close_conn(conn)
+
+    # ------------------------------------------------------------------
+    def run(self):
+        sys = self.sys
+        cfg: DevpollServerConfig = self.config  # type: ignore[assignment]
+        costs = self.kernel.costs
+        sim = self.kernel.sim
+
+        yield from self.open_listener()
+        self.dp_fd = yield from sys.open_devpoll(cfg.devpoll)
+        if cfg.use_mmap:
+            yield from sys.ioctl(self.dp_fd, DP_ALLOC, cfg.result_capacity)
+            self._result_area = yield from sys.mmap_devpoll(self.dp_fd)
+        self._updates.add(self.listen_fd, POLLIN)
+
+        next_sweep = sim.now + self.config.timer_interval
+        while self.running:
+            self.stats.loops += 1
+            timeout = max(0.0, next_sweep - sim.now)
+            dvp = DvPoll(dp_fds=None if cfg.use_mmap else [],
+                         dp_nfds=cfg.result_capacity, dp_timeout=timeout)
+            if cfg.combined_update_poll:
+                ready = yield from sys.ioctl(
+                    self.dp_fd, DP_POLL_WRITE, (self._updates.flush(), dvp))
+            else:
+                if len(self._updates):
+                    yield from sys.write(self.dp_fd, self._updates.flush())
+                ready = yield from sys.ioctl(self.dp_fd, DP_POLL, dvp)
+            # userspace scans only the ready results
+            yield from sys.cpu_work(
+                costs.user_scan_per_fd * len(ready), "app.scan")
+
+            for pfd in ready:
+                yield from sys.cpu_work(costs.app_event_dispatch, "app.dispatch")
+                fd, revents = pfd.fd, pfd.revents
+                if fd == self.listen_fd:
+                    new_conns = yield from self.accept_new()
+                    for conn in new_conns:
+                        self._updates.add(conn.fd, POLLIN)
+                    continue
+                conn = self.conns.get(fd)
+                if conn is None:
+                    self.stats.stale_events += 1
+                    continue
+                if revents & POLLNVAL:
+                    self.stats.stale_events += 1
+                    yield from self.close_conn(conn)
+                    continue
+                if conn.state == READING and revents & (POLLIN | POLLERR | POLLHUP):
+                    before = conn.state
+                    result = yield from self.handle_readable(conn)
+                    if result == "responding" and before == READING:
+                        # response built; wait for writability next cycle
+                        self._updates.add(conn.fd, POLLOUT)
+                elif conn.state == WRITING and revents & (POLLOUT | POLLERR | POLLHUP):
+                    yield from self.handle_writable(conn)
+
+            if sim.now >= next_sweep:
+                yield from self.sweep_idle()
+                next_sweep = sim.now + self.config.timer_interval
+
+    # ------------------------------------------------------------------
+    @property
+    def devpoll_file(self):
+        """The kernel-side /dev/poll object (for stats in tests/benches)."""
+        return self.task.fdtable.lookup(self.dp_fd)

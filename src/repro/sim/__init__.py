@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate (engine, processes, CPU, stats)."""
+
+from .engine import Event, SimulationError, Simulator, Timer
+from .process import (
+    AnyOf,
+    Process,
+    ProcessCrashed,
+    sleep,
+    spawn,
+    wait,
+    wait_any,
+    wait_with_timeout,
+)
+from .resources import CPU, Channel, PRIO_SOFTIRQ, PRIO_USER
+from .rng import RngStreams
+from .stats import Counter, ErrorCounter, RateSummary, SampleSet, WindowedRate
+from .tracing import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "AnyOf",
+    "CPU",
+    "Channel",
+    "Counter",
+    "ErrorCounter",
+    "Event",
+    "NULL_TRACER",
+    "PRIO_SOFTIRQ",
+    "PRIO_USER",
+    "Process",
+    "ProcessCrashed",
+    "RateSummary",
+    "RngStreams",
+    "SampleSet",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+    "WindowedRate",
+    "sleep",
+    "spawn",
+    "wait",
+    "wait_any",
+    "wait_with_timeout",
+]

@@ -1,0 +1,201 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately small: a monotonic clock, a binary-heap calendar
+of timers, one-shot :class:`Event` objects that processes can wait on, and
+generator-based :class:`~repro.sim.process.Process` coroutines (defined in
+a sibling module) that the engine resumes.
+
+Everything else in the reproduction -- the simulated Linux kernel, the TCP
+stack, the web servers, the httperf client -- is built from these pieces.
+
+Time is a float in *seconds* of simulated time.  Ties are broken by a
+monotonically increasing sequence number so scheduling order is stable and
+runs are fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    A cancelled timer stays in the heap (removal from a binary heap is
+    O(n)) but its callback is skipped when it pops.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<Timer t={self.time:.6f} {state} fn={getattr(self.fn, '__name__', self.fn)!r}>"
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An Event may be triggered at most once, carrying an optional value.
+    Waiters registered after the trigger fire immediately via the
+    simulator's calendar (never synchronously re-entrant), preserving
+    run-to-completion semantics for the code that triggered the event.
+    """
+
+    __slots__ = ("sim", "name", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Mark the event as having occurred and wake all waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.call_soon(cb, self)
+
+    # ``succeed`` reads better at some call sites (mirrors simpy).
+    succeed = trigger
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb(event)``; fires now (via calendar) if already triggered."""
+        if self.triggered:
+            self.sim.call_soon(cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Deregister a callback previously added; no-op if absent."""
+        try:
+            self._callbacks.remove(cb)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"triggered({self.value!r})" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Simulator:
+    """The event calendar and clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "hello at t=1.5")
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Timer] = []
+        self._seq: int = 0
+        self._running = False
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Timer:
+        """Run ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        self._seq += 1
+        timer = Timer(time, self._seq, fn, args)
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def call_soon(self, fn: Callable, *args: Any) -> Timer:
+        """Run ``fn(*args)`` at the current time, after the running callback."""
+        return self.schedule_at(self.now, fn, *args)
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> Event:
+        """An Event that triggers ``delay`` seconds from now."""
+        ev = Event(self, name)
+        self.schedule(delay, ev.trigger, value)
+        return ev
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Pop and run the next timer.  Returns False when the heap is empty."""
+        while self._heap:
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            if timer.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("calendar went backwards")
+            self.now = timer.time
+            self.events_processed += 1
+            timer.fn(*timer.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the calendar drains, ``until`` is reached, or
+        ``max_events`` timers have fired (whichever comes first)."""
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                next_time = self.peek()  # purges cancelled heads
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    return
+                if max_events is not None and fired >= max_events:
+                    return
+                if self.step():
+                    fired += 1
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next armed timer, or None if the calendar is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"

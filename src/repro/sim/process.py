@@ -1,0 +1,183 @@
+"""Generator-based simulated processes.
+
+A process body is a Python generator.  It advances simulated time by
+yielding one of:
+
+* a ``float``/``int`` -- sleep that many simulated seconds;
+* an :class:`~repro.sim.engine.Event` -- suspend until it triggers; the
+  ``yield`` expression evaluates to the event's value;
+* an :class:`AnyOf` -- suspend until the first of several events triggers;
+  evaluates to ``(event, value)`` for the winner.
+
+Sub-steps compose with ``yield from``, so a syscall implemented as a
+generator can be called from server code naturally::
+
+    def handler(sys):
+        data = yield from sys.read(fd, 4096)
+
+Process failure is loud: an uncaught exception in a process body is
+wrapped in :class:`ProcessCrashed` and re-raised out of ``Simulator.run``
+so broken simulations never limp along silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .engine import Event, SimulationError, Simulator
+
+
+class ProcessCrashed(SimulationError):
+    """An uncaught exception escaped a process body."""
+
+
+class AnyOf:
+    """Yieldable that resumes on the first of several events.
+
+    The yield expression evaluates to ``(event, value)`` of the winner.
+    Callbacks registered on the losing events are removed so they do not
+    resume the process a second time.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf requires at least one event")
+
+
+class Process:
+    """A running simulated process wrapping a generator body."""
+
+    __slots__ = ("sim", "name", "gen", "done", "_waiting_on", "crashed")
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self.gen = gen
+        #: Event triggered with the generator's return value when it finishes.
+        self.done: Event = sim.event(f"{name}.done")
+        self._waiting_on: Optional[List[Tuple[Event, Any]]] = None
+        self.crashed: Optional[BaseException] = None
+        sim.call_soon(self._resume, None, None)
+
+    # ------------------------------------------------------------------
+    def _resume(self, send_value: Any, exc: Optional[BaseException]) -> None:
+        if self.done.triggered or self.crashed is not None:
+            return
+        try:
+            if exc is not None:
+                yielded = self.gen.throw(exc)
+            else:
+                yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - deliberate crash propagation
+            self.crashed = err
+            raise ProcessCrashed(
+                f"process {self.name!r} crashed at t={self.sim.now:.6f}: {err!r}"
+            ) from err
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._resume(
+                    None, SimulationError(f"process {self.name!r} slept {yielded}")
+                )
+                return
+            self.sim.schedule(float(yielded), self._resume, None, None)
+        elif isinstance(yielded, Event):
+            yielded.add_callback(self._on_event)
+        elif isinstance(yielded, AnyOf):
+            self._wait_any(yielded)
+        else:
+            self._resume(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded unsupported {yielded!r}"
+                ),
+            )
+
+    def _on_event(self, event: Event) -> None:
+        self._resume(event.value, None)
+
+    # ------------------------------------------------------------------
+    def _wait_any(self, anyof: AnyOf) -> None:
+        entries: List[Tuple[Event, Any]] = []
+
+        def make_cb(ev: Event):
+            def cb(_event: Event) -> None:
+                self._finish_any(entries, ev)
+
+            return cb
+
+        for ev in anyof.events:
+            cb = make_cb(ev)
+            entries.append((ev, cb))
+        self._waiting_on = entries
+        # Register after building the full list so an already-triggered
+        # event (whose callback fires via the calendar) can deregister
+        # every sibling.
+        for ev, cb in entries:
+            ev.add_callback(cb)
+
+    def _finish_any(self, entries: List[Tuple[Event, Any]], winner: Event) -> None:
+        if self._waiting_on is not entries:
+            return  # a sibling already won
+        self._waiting_on = None
+        for ev, cb in entries:
+            if ev is not winner:
+                ev.remove_callback(cb)
+        self._resume((winner, winner.value), None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.done.triggered and self.crashed is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done.triggered else ("crashed" if self.crashed else "alive")
+        return f"<Process {self.name!r} {state}>"
+
+
+def spawn(sim: Simulator, gen: Generator, name: str = "proc") -> Process:
+    """Start ``gen`` as a simulated process; it first runs at the current time."""
+    return Process(sim, gen, name)
+
+
+def sleep(delay: float):
+    """Readable alias used inside process bodies: ``yield from sleep(0.5)``."""
+    yield float(delay)
+
+
+def wait(event: Event):
+    """``yield from wait(ev)`` -- returns the event's value."""
+    value = yield event
+    return value
+
+
+def wait_any(events: Iterable[Event]):
+    """``yield from wait_any([a, b])`` -- returns ``(winner, value)``."""
+    result = yield AnyOf(events)
+    return result
+
+
+def wait_with_timeout(sim: Simulator, event: Event, timeout: Optional[float]):
+    """Wait for ``event`` or ``timeout`` seconds, whichever is first.
+
+    Returns ``(timed_out, value)``.  ``timeout=None`` waits forever.
+    A ``timeout`` of 0 still allows an already-triggered event to win:
+    both fire at the same timestamp and the event was scheduled first.
+    """
+    if timeout is None:
+        value = yield event
+        return False, value
+    timer_ev = sim.event("timeout")
+    timer = sim.schedule(timeout, timer_ev.trigger, None)
+    winner, value = yield AnyOf([event, timer_ev])
+    if winner is timer_ev:
+        return True, None
+    timer.cancel()
+    return False, value

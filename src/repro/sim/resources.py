@@ -1,0 +1,142 @@
+"""Shared resources: CPUs and FIFO channels.
+
+The CPU model is the heart of the reproduction.  The paper's results are
+entirely about where a small server machine's CPU cycles go (per-fd poll
+scans versus per-event syscalls versus copies), so every simulated kernel
+and userspace operation charges time against a :class:`CPU`.
+
+The CPU is a non-preemptive priority FIFO with two levels:
+
+* ``PRIO_SOFTIRQ`` -- interrupt/softirq work (packet rx/tx processing).
+  Models the bursty interrupt load the paper attributes to many
+  high-latency clients.
+* ``PRIO_USER`` -- syscall and userspace work.
+
+Grants are short (individual syscall steps), so non-preemption is a good
+approximation of a 2.2-era uniprocessor kernel, which did not preempt
+kernel-mode execution either.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from .engine import Event, SimulationError, Simulator
+
+PRIO_SOFTIRQ = 0
+PRIO_USER = 1
+
+_PRIORITIES = (PRIO_SOFTIRQ, PRIO_USER)
+
+
+class CPU:
+    """A single processor shared by interrupt and process work.
+
+    ``consume()`` returns an Event that triggers when the requested slice
+    has been executed; process code does ``yield cpu.consume(dt)`` or the
+    ``yield from cpu.run(dt)`` sugar.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cpu", speed: float = 1.0):
+        if speed <= 0:
+            raise SimulationError("CPU speed must be positive")
+        self.sim = sim
+        self.name = name
+        #: relative speed multiplier; charges are divided by this, so a
+        #: ``speed=2.0`` CPU does the same work in half the time.
+        self.speed = speed
+        self._queues: Dict[int, Deque[Tuple[Event, float, str]]] = {
+            p: deque() for p in _PRIORITIES
+        }
+        self._busy = False
+        self.busy_time = 0.0
+        self.busy_by_category: Dict[str, float] = {}
+        self._created_at = sim.now
+
+    # ------------------------------------------------------------------
+    def consume(self, duration: float, priority: int = PRIO_USER,
+                category: str = "other") -> Event:
+        """Request ``duration`` seconds of CPU; returns the completion Event."""
+        if duration < 0:
+            raise SimulationError(f"negative CPU charge: {duration}")
+        if priority not in self._queues:
+            raise SimulationError(f"unknown CPU priority {priority}")
+        done = self.sim.event(f"{self.name}.grant")
+        self._queues[priority].append((done, duration / self.speed, category))
+        if not self._busy:
+            self._dispatch()
+        return done
+
+    def run(self, duration: float, priority: int = PRIO_USER,
+            category: str = "other"):
+        """Generator sugar: ``yield from cpu.run(dt)`` inside a process."""
+        yield self.consume(duration, priority, category)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        for prio in _PRIORITIES:
+            queue = self._queues[prio]
+            if queue:
+                done, duration, category = queue.popleft()
+                self._busy = True
+                self.busy_time += duration
+                self.busy_by_category[category] = (
+                    self.busy_by_category.get(category, 0.0) + duration
+                )
+                self.sim.schedule(duration, self._finish, done)
+                return
+        self._busy = False
+
+    def _finish(self, done: Event) -> None:
+        done.trigger(None)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def utilization(self, since: Optional[float] = None) -> float:
+        """Fraction of wall-clock time this CPU has been busy."""
+        start = self._created_at if since is None else since
+        elapsed = self.sim.now - start
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CPU {self.name!r} busy={self._busy} queued={self.queued}>"
+
+
+class Channel:
+    """Unbounded FIFO of messages with blocking get.
+
+    Used for in-test plumbing and client-side coordination.  Kernel-level
+    message passing (UNIX domain sockets in phhttpd's overflow handoff)
+    is modelled separately with cost accounting.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "chan"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item) -> None:
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Returns an Event carrying the next item; ``yield chan.get()``."""
+        ev = self.sim.event(f"{self.name}.get")
+        if self._items:
+            ev.trigger(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,45 @@
+"""Lightweight execution tracing.
+
+A :class:`Tracer` records (time, subsystem, message) tuples into a bounded
+ring buffer.  Tracing is off by default and costs a single attribute check
+per call site, so it can stay wired through the kernel and servers without
+affecting benchmark numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    subsystem: str
+    message: str
+
+
+class Tracer:
+    def __init__(self, enabled: bool = False, capacity: int = 10000):
+        self.enabled = enabled
+        self._ring: Deque[TraceRecord] = deque(maxlen=capacity)
+
+    def trace(self, now: float, subsystem: str, message: str) -> None:
+        if self.enabled:
+            self._ring.append(TraceRecord(now, subsystem, message))
+
+    def records(self, subsystem: Optional[str] = None) -> List[TraceRecord]:
+        if subsystem is None:
+            return list(self._ring)
+        return [r for r in self._ring if r.subsystem == subsystem]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def dump(self) -> str:
+        return "\n".join(
+            f"[{r.time:12.6f}] {r.subsystem:12s} {r.message}" for r in self._ring
+        )
+
+
+#: Shared no-op tracer for components created without an explicit one.
+NULL_TRACER = Tracer(enabled=False, capacity=1)

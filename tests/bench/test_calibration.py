@@ -1,0 +1,56 @@
+"""Tests for the capacity probe and CPU attribution helpers."""
+
+import pytest
+
+from repro.bench.calibration import (
+    cpu_breakdown,
+    measure_capacity,
+    per_request_cost_us,
+)
+from repro.bench.harness import BenchmarkPoint, run_point
+
+
+def test_measure_capacity_finds_a_knee():
+    est = measure_capacity("thttpd-devpoll", inactive=1,
+                           low=100, high=2400, tolerance=300,
+                           duration=2.0, seed=3)
+    # DESIGN.md calibration target: the 0.4-speed host saturates around
+    # 1000-1300 replies/s at load 1
+    assert 700 <= est.capacity <= 1600
+    assert len(est.probes) >= 3
+    # probes at or below the knee sustained their offered rate
+    for rate, measured in est.probes:
+        if rate <= est.capacity:
+            assert measured >= 0.9 * rate
+
+
+def test_measure_capacity_zero_when_server_absent_rate_unreachable():
+    est = measure_capacity("thttpd", inactive=1, low=5000, high=6000,
+                           tolerance=500, duration=1.0, seed=0)
+    assert est.capacity == 0.0
+
+
+def test_cpu_breakdown_and_per_request_cost():
+    result = run_point(BenchmarkPoint(server="thttpd-devpoll", rate=200,
+                                      inactive=1, duration=2.0, seed=1))
+    rows = cpu_breakdown(result, top=5)
+    assert len(rows) == 5
+    shares = [share for _c, _s, share in rows]
+    assert all(0 <= s <= 1 for s in shares)
+    assert rows[0][1] >= rows[-1][1]  # sorted descending
+
+    cost = per_request_cost_us(result)
+    # calibrated service cost: several hundred microseconds of 0.4-speed
+    # CPU per request (DESIGN.md: ~1 ms all-in near saturation)
+    assert cost is not None
+    assert 200 < cost < 3000
+
+
+def test_per_request_cost_none_without_replies():
+    result = run_point(BenchmarkPoint(server="thttpd", rate=20,
+                                      inactive=1, duration=0.2, seed=1,
+                                      timeout=0.5))
+    if result.httperf.replies_ok == 0:
+        assert per_request_cost_us(result) is None
+    else:  # extremely fast machine served them anyway
+        assert per_request_cost_us(result) > 0

@@ -1,0 +1,48 @@
+"""Plumbing tests for the figure builders (tiny workloads).
+
+The full-shape assertions live in benchmarks/; here we verify every
+builder produces well-formed series, tables, and renderings.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.figures import ALL_FIGURES, FigureResult, fig05, fig10, fig14
+
+TINY = dict(rates=(150,), duration=1.5, seed=2)
+
+
+def test_registry_covers_every_evaluation_figure():
+    assert sorted(ALL_FIGURES) == [f"fig{n:02d}" for n in range(4, 15)]
+
+
+def test_reply_rate_figure_structure():
+    fig = fig05(**TINY)
+    assert isinstance(fig, FigureResult)
+    assert fig.figure_id == "fig05"
+    assert fig.x_rates == [150]
+    assert set(fig.series) == {"Average", "Min", "Max"}
+    assert fig.series["Average"][0] == pytest.approx(150, rel=0.2)
+    assert "fig05" in fig.table
+    rendered = fig.render()
+    assert "req rate" in rendered
+    assert "Average" in rendered  # legend
+
+
+def test_error_figure_structure():
+    fig = fig10(loads=(40,), **TINY)
+    assert set(fig.series) == {"using devpoll, load 40",
+                               "normal poll, load 40"}
+    for series in fig.series.values():
+        assert len(series) == 1
+        assert series[0] >= 0.0
+
+
+def test_latency_figure_structure():
+    fig = fig14(inactive=40, **TINY)
+    assert set(fig.series) == {"devpoll", "normal poll", "phhttpd"}
+    for series in fig.series.values():
+        assert not math.isnan(series[0])
+        assert series[0] > 0
+    assert "median conn ms" in fig.table

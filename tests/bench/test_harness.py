@@ -1,0 +1,146 @@
+"""Tests for run_point / sweeps / reporting (small, fast workloads)."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    SERVER_KINDS,
+    BenchmarkPoint,
+    make_server,
+    run_point,
+)
+from repro.bench.reporting import ascii_plot, format_table
+from repro.bench.sweeps import PAPER_LOADS, PAPER_RATES, run_rate_sweep
+from repro.bench.testbed import Testbed, TestbedConfig
+
+
+def small_point(**kw):
+    defaults = dict(server="thttpd-devpoll", rate=100, inactive=1,
+                    duration=2.0, seed=7)
+    defaults.update(kw)
+    return BenchmarkPoint(**defaults)
+
+
+@pytest.mark.parametrize("kind", sorted(SERVER_KINDS))
+def test_run_point_every_server_kind(kind):
+    result = run_point(small_point(server=kind))
+    assert result.reply_rate.avg == pytest.approx(100, rel=0.25)
+    assert result.error_percent == 0.0
+    assert result.httperf.replies_ok > 100
+    assert 0 < result.cpu_utilization < 1.0
+    assert result.median_conn_ms is not None
+
+
+def test_unknown_server_kind_rejected():
+    tb = Testbed(TestbedConfig())
+    with pytest.raises(ValueError):
+        make_server("apache", tb.server_kernel)
+
+
+def test_point_result_row_keys():
+    result = run_point(small_point())
+    row = result.row()
+    assert set(row) == {"rate", "avg", "min", "max", "stddev",
+                        "errors_pct", "median_ms"}
+    assert row["rate"] == 100
+    assert not math.isnan(row["median_ms"])
+
+
+def test_server_opts_forwarded():
+    result = run_point(small_point(server="thttpd-devpoll",
+                                   server_opts={"use_mmap": False}))
+    assert result.server.config.use_mmap is False
+    assert result.error_percent == 0.0
+
+
+def test_inactive_load_present_during_measurement():
+    result = run_point(small_point(inactive=15, duration=2.0))
+    # the pool's conns were connected at the server when httperf ran
+    assert result.server.stats.accepts >= 15
+    assert result.error_percent == 0.0
+
+
+def test_time_wait_discipline_reported():
+    result = run_point(small_point())
+    # the server closed first for every served reply: TIME-WAIT piles up
+    assert result.time_wait_server > 0
+
+
+def test_rate_sweep_structure():
+    sweep = run_rate_sweep("thttpd-devpoll", inactive=1,
+                           rates=(60, 120), duration=1.5, seed=1)
+    assert sweep.rates() == [60, 120]
+    avgs = sweep.series("avg")
+    assert len(avgs) == 2
+    assert avgs[1] > avgs[0]
+    assert len(sweep.series("errors_pct")) == 2
+
+
+def test_paper_axes():
+    assert tuple(PAPER_RATES) == (500, 600, 700, 800, 900, 1000, 1100)
+    assert tuple(PAPER_LOADS) == (1, 251, 501)
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+def test_format_table():
+    text = format_table(["a", "bb"], [[1, 2.5], [10, float("nan")]], "T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "2.5" in text
+    assert "-" in lines[-1]  # NaN rendered as '-'
+
+
+def test_ascii_plot_renders_series():
+    text = ascii_plot({"x": [1, 2, 3], "y": [3, 2, 1]},
+                      [500, 600, 700], width=20, height=5, title="plot")
+    assert "plot" in text
+    assert "*" in text and "o" in text
+    assert "x" in text.splitlines()[-1]  # legend
+
+
+def test_ascii_plot_empty():
+    assert "(no data)" in ascii_plot({"s": [float("nan")]}, [1])
+
+
+def test_run_point_is_deterministic():
+    """A benchmark point is a pure function of its seed."""
+    r1 = run_point(small_point(seed=13, duration=1.5))
+    r2 = run_point(small_point(seed=13, duration=1.5))
+    assert r1.reply_rate.avg == r2.reply_rate.avg
+    assert r1.httperf.attempts == r2.httperf.attempts
+    assert r1.median_conn_ms == r2.median_conn_ms
+    assert (r1.testbed.sim.events_processed
+            == r2.testbed.sim.events_processed)
+
+
+def test_document_bytes_override():
+    result = run_point(small_point(document_bytes=1024, duration=1.5))
+    assert result.error_percent == 0.0
+    # 1 KB responses -> received bytes per reply well under 6 KB + headers
+    per_reply = result.httperf.bytes_received / result.httperf.replies_ok
+    assert 1024 <= per_reply < 2048
+
+
+def test_document_sizes_distribution():
+    result = run_point(small_point(duration=1.5,
+                                   document_sizes=[512, 2048]))
+    assert result.error_percent == 0.0
+    assert set(result.server.site.hits) == {"/doc-512.html",
+                                            "/doc-2048.html"}
+
+
+def test_sweep_base_point_template():
+    from repro.bench.sweeps import run_rate_sweep
+
+    template = BenchmarkPoint(timeout=2.5, client_fd_limit=2048)
+    sweep = run_rate_sweep("thttpd-devpoll", inactive=1, rates=(80,),
+                           duration=1.5, seed=6, base_point=template)
+    point = sweep.points[0].point
+    assert point.timeout == 2.5
+    assert point.client_fd_limit == 2048
+    assert point.rate == 80

@@ -1,0 +1,70 @@
+"""Tests for experiment-record serialization."""
+
+import json
+
+import pytest
+
+from repro.bench.figures import fig05
+from repro.bench.harness import BenchmarkPoint, run_point
+from repro.bench.records import (
+    compare_series,
+    dump_figure_record,
+    figure_record,
+    load_figure_record,
+    point_record,
+)
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return fig05(rates=(150,), duration=1.5, seed=4)
+
+
+def test_point_record_fields():
+    result = run_point(BenchmarkPoint(server="phhttpd", rate=100,
+                                      inactive=5, duration=1.5, seed=4))
+    record = point_record(result)
+    assert record["server"] == "phhttpd"
+    assert record["reply_rate"]["avg"] == pytest.approx(100, rel=0.3)
+    assert record["errors"]["timeouts"] == 0
+    assert record["mode"] == "signals"         # server-specific extras
+    assert record["latency_ms"]["median"] > 0
+    json.dumps(record)  # fully JSON-serializable
+
+
+def test_figure_record_roundtrip(figure, tmp_path):
+    path = tmp_path / "fig05.json"
+    dump_figure_record(figure, str(path))
+    loaded = load_figure_record(str(path))
+    assert loaded["figure_id"] == "fig05"
+    assert loaded["x_rates"] == [150]
+    assert loaded["series"]["Average"][0] == pytest.approx(
+        figure.series["Average"][0])
+    assert loaded["sweeps"]["thttpd-devpoll"]["points"][0]["rate"] == 150
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"record_version": 99}))
+    with pytest.raises(ValueError):
+        load_figure_record(str(path))
+
+
+def test_compare_series_agreement(figure):
+    record = figure_record(figure)
+    assert compare_series(record, record) is None
+
+
+def test_compare_series_detects_drift(figure):
+    record = figure_record(figure)
+    drifted = json.loads(json.dumps(record))
+    drifted["series"]["Average"][0] *= 2.0
+    message = compare_series(record, drifted)
+    assert message is not None
+    assert "rate 150" in message
+
+
+def test_compare_series_mismatched_figures(figure):
+    record = figure_record(figure)
+    other = dict(record, figure_id="fig06")
+    assert "different figures" in compare_series(record, other)

@@ -1,0 +1,57 @@
+"""Tests for the reporting helpers (tables, plots, histograms)."""
+
+import math
+
+from repro.bench.reporting import (
+    ascii_histogram,
+    ascii_plot,
+    format_table,
+    reply_rate_table,
+)
+
+
+def test_format_table_alignment_and_nan():
+    text = format_table(["name", "v"], [["long-name-here", 1.25],
+                                        ["x", float("nan")]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert "1.2" in text
+    assert lines[-1].strip().endswith("-")
+
+
+def test_reply_rate_table():
+    text = reply_rate_table([500, 600], [490.0, 580.0], [450.0, 520.0],
+                            [520.0, 620.0], [10.0, 20.0], "t")
+    assert "req rate" in text and "stddev" in text
+    assert "490.0" in text
+
+
+def test_ascii_plot_y_bounds_and_markers():
+    text = ascii_plot({"a": [0, 50, 100]}, [1, 2, 3], width=30, height=8)
+    assert "|" in text
+    assert "*" in text
+    assert "a" in text.splitlines()[-1]
+
+
+def test_ascii_plot_multiple_series_distinct_markers():
+    text = ascii_plot({"one": [1, 2], "two": [2, 1]}, [10, 20],
+                      width=10, height=4)
+    legend = text.splitlines()[-1]
+    assert "* one" in legend and "o two" in legend
+
+
+def test_ascii_histogram_counts_everything():
+    values = [1.0] * 5 + [10.0] * 3
+    text = ascii_histogram(values, bins=4, width=10, title="lat")
+    assert "lat" in text
+    assert "n=8" in text
+    # all values accounted for across bins
+    counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()[1:-1]]
+    assert sum(counts) == 8
+
+
+def test_ascii_histogram_handles_degenerate_input():
+    assert "(no data)" in ascii_histogram([], title="x")
+    assert "(no data)" in ascii_histogram([float("nan")])
+    text = ascii_histogram([5.0, 5.0, 5.0], bins=3)
+    assert "n=3" in text

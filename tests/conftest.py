@@ -1,0 +1,61 @@
+"""Shared fixtures: simulators, kernel pairs, and a wired mini-testbed."""
+
+import pytest
+
+from repro.kernel.costs import CostModel
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import SyscallInterface
+from repro.net.link import Network
+from repro.net.stack import NetStack
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def kernel(sim):
+    return Kernel(sim, "host")
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.new_task("task")
+
+
+@pytest.fixture
+def sys_iface(task):
+    return SyscallInterface(task)
+
+
+class TwoHosts:
+    """A server kernel and a client kernel joined by a switch."""
+
+    def __init__(self, sim, server_speed=1.0, client_speed=8.0,
+                 costs=None):
+        self.sim = sim
+        self.network = Network(sim)
+        costs = costs if costs is not None else CostModel()
+        self.server = Kernel(sim, "server", cpu_speed=server_speed, costs=costs)
+        self.client = Kernel(sim, "client", cpu_speed=client_speed, costs=costs)
+        self.server_stack = NetStack(self.server, self.network)
+        self.client_stack = NetStack(self.client, self.network)
+
+    def server_sys(self, name="srv", **kw):
+        return SyscallInterface(self.server.new_task(name, **kw))
+
+    def client_sys(self, name="cli", **kw):
+        return SyscallInterface(self.client.new_task(name, **kw))
+
+
+@pytest.fixture
+def hosts(sim):
+    return TwoHosts(sim)
+
+
+def run_all(sim, until=120.0):
+    """Run the calendar to quiescence (bounded), returning the end time."""
+    sim.run(until=until)
+    return sim.now

@@ -1,0 +1,62 @@
+"""Core-package test helpers: a controllable fake driver file."""
+
+import pytest
+
+from repro.kernel.file import File
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import SyscallInterface
+from repro.sim.engine import Simulator
+
+
+class FakeDriverFile(File):
+    """A file whose readiness the test sets explicitly.
+
+    ``supports_hints`` mirrors the modified-network-driver flag from
+    section 3.2; tests flip it to model unmodified drivers.
+    """
+
+    file_type = "fake"
+    supports_hints = True
+
+    def __init__(self, kernel, name="fake", hints=True):
+        super().__init__(kernel, name)
+        self.supports_hints = hints
+        self._mask = 0
+
+    def poll_mask(self) -> int:
+        return self._mask
+
+    def set_ready(self, mask: int) -> None:
+        """Change readiness and fire the driver notification path."""
+        self._mask = mask
+        if mask:
+            self.notify(mask)
+
+    def clear_ready(self) -> None:
+        # ready -> not-ready produces NO hint (section 3.2)
+        self._mask = 0
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(Simulator(), "k")
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.new_task("t")
+
+
+@pytest.fixture
+def sys_iface(task):
+    return SyscallInterface(task)
+
+
+def drive(sim, gen):
+    """Run a syscall generator to completion; return its value."""
+    from repro.sim.process import spawn
+
+    proc = spawn(sim, gen, "test-driver")
+    sim.run()
+    assert proc.done.triggered, "process did not finish"
+    return proc.done.value

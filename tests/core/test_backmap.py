@@ -1,0 +1,79 @@
+"""Unit tests for backmapping lists and their rwlock accounting."""
+
+from repro.core.backmap import (
+    BackmapLock,
+    per_socket_lock_memory,
+    register_backmap,
+    unregister_backmap,
+)
+from repro.core.interest_set import Interest
+from repro.kernel.constants import POLLIN
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Simulator
+
+from .conftest import FakeDriverFile
+
+
+def make():
+    kernel = Kernel(Simulator(), "k")
+    f = FakeDriverFile(kernel)
+    interest = Interest(3, POLLIN, f)
+    lock = BackmapLock()
+    return f, interest, lock
+
+
+def test_register_wires_listener_and_takes_write_lock():
+    f, interest, lock = make()
+    hints = []
+    register_backmap(f, interest, lock, lambda i, band: hints.append((i, band)))
+    assert lock.stats.write_acquisitions == 1
+    assert interest.listener is not None
+    f.notify(POLLIN)
+    assert hints == [(interest, POLLIN)]
+    assert lock.stats.read_acquisitions == 1  # hints take the read side
+
+
+def test_every_hint_takes_a_read_lock():
+    f, interest, lock = make()
+    register_backmap(f, interest, lock, lambda i, band: None)
+    for _ in range(5):
+        f.notify(POLLIN)
+    assert lock.stats.read_acquisitions == 5
+    assert lock.stats.write_acquisitions == 1
+
+
+def test_unregister_removes_listener():
+    f, interest, lock = make()
+    hits = []
+    register_backmap(f, interest, lock, lambda i, band: hits.append(1))
+    unregister_backmap(f, interest, lock)
+    assert interest.listener is None
+    f.notify(POLLIN)
+    assert hits == []
+    assert lock.stats.write_acquisitions == 2
+
+
+def test_unregister_twice_is_safe():
+    f, interest, lock = make()
+    register_backmap(f, interest, lock, lambda i, band: None)
+    unregister_backmap(f, interest, lock)
+    unregister_backmap(f, interest, lock)
+
+
+def test_multiple_processes_on_one_socket():
+    """'the driver marks the appropriate file descriptor for each process
+    in its backmapping list' -- one socket, several interest sets."""
+    f, interest_a, lock_a = make()
+    interest_b = Interest(3, POLLIN, f)
+    lock_b = BackmapLock()
+    hits = []
+    register_backmap(f, interest_a, lock_a, lambda i, b: hits.append("a"))
+    register_backmap(f, interest_b, lock_b, lambda i, b: hits.append("b"))
+    f.notify(POLLIN)
+    assert hits == ["a", "b"]
+
+
+def test_per_socket_lock_memory():
+    # "Each per-socket lock requires an extra 8 bytes."
+    assert per_socket_lock_memory(1) == 8
+    assert per_socket_lock_memory(60000) == 480000

@@ -1,0 +1,115 @@
+"""Property-based correctness of /dev/poll hints (hypothesis).
+
+The invariant the whole hinting design must preserve: no matter what
+sequence of interest updates and driver readiness changes occurs,
+``DP_POLL`` reports exactly the ground-truth ready set of the active
+interests.  Hints are an optimization, never a correctness filter --
+except for the one documented asymmetry: a driver that silently becomes
+ready *without notifying* (which real hardware does not do) is only
+guaranteed to be seen if its cached state was ready or it is hint-less.
+The strategy below therefore always routes readiness changes through
+``set_ready``/``clear_ready`` exactly as drivers do.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.devpoll import DevPollConfig, DevPollFile
+from repro.core.pollfd import DP_POLL, DvPoll, PollFd
+from repro.kernel.constants import POLL_ALWAYS, POLLIN, POLLOUT, POLLREMOVE
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+
+from .conftest import FakeDriverFile
+
+NFILES = 6
+
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, NFILES - 1),
+                  st.sampled_from([POLLIN, POLLOUT, POLLIN | POLLOUT])),
+        st.tuples(st.just("remove"), st.integers(0, NFILES - 1), st.just(0)),
+        st.tuples(st.just("ready"), st.integers(0, NFILES - 1),
+                  st.sampled_from([POLLIN, POLLOUT, POLLIN | POLLOUT])),
+        st.tuples(st.just("unready"), st.integers(0, NFILES - 1), st.just(0)),
+        st.tuples(st.just("poll"), st.just(0), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def dp_poll_now(kernel, task, dp_fd):
+    """Synchronous zero-timeout DP_POLL via a throwaway process."""
+    from repro.kernel.syscalls import SyscallInterface
+
+    sys = SyscallInterface(task)
+    result = {}
+
+    def body():
+        dvp = DvPoll(dp_fds=[], dp_nfds=NFILES * 2, dp_timeout=0)
+        result["ready"] = yield from sys.ioctl(dp_fd, DP_POLL, dvp)
+
+    spawn(kernel.sim, body())
+    kernel.sim.run()
+    return result["ready"]
+
+
+@given(ops=op_strategy, use_hints=st.booleans(),
+       hint_support=st.lists(st.booleans(), min_size=NFILES,
+                             max_size=NFILES))
+@settings(max_examples=100, deadline=None)
+def test_dp_poll_always_reports_ground_truth(ops, use_hints, hint_support):
+    sim = Simulator()
+    kernel = Kernel(sim, "k")
+    task = kernel.new_task("t")
+    files = [FakeDriverFile(kernel, f"f{i}", hints=hint_support[i])
+             for i in range(NFILES)]
+    fds = [task.fdtable.alloc(f) for f in files]
+    fd_to_file = dict(zip(fds, files))
+
+    dp_file = DevPollFile(kernel, DevPollConfig(use_hints=use_hints))
+    dp_fd = task.fdtable.alloc(dp_file)
+
+    from repro.kernel.syscalls import SyscallInterface
+
+    sys = SyscallInterface(task)
+    model = {}  # fd -> requested events
+
+    def do_write(updates):
+        def body():
+            yield from sys.write(dp_fd, updates)
+
+        spawn(sim, body())
+        sim.run()
+
+    for op, idx, events in ops:
+        if op == "add":
+            do_write([PollFd(fds[idx], events)])
+            model[fds[idx]] = events
+        elif op == "remove":
+            do_write([PollFd(fds[idx], POLLREMOVE)])
+            model.pop(fds[idx], None)
+        elif op == "ready":
+            files[idx].set_ready(events)
+            sim.run()
+        elif op == "unready":
+            files[idx].clear_ready()
+        else:
+            ready = dp_poll_now(kernel, task, dp_fd)
+            expected = {
+                fd: fd_to_file[fd].poll_mask() & (ev | POLL_ALWAYS)
+                for fd, ev in model.items()
+                if fd_to_file[fd].poll_mask() & (ev | POLL_ALWAYS)
+            }
+            got = {p.fd: p.revents for p in ready}
+            assert got == expected
+
+    # final check after the whole sequence
+    ready = dp_poll_now(kernel, task, dp_fd)
+    expected = {
+        fd: fd_to_file[fd].poll_mask() & (ev | POLL_ALWAYS)
+        for fd, ev in model.items()
+        if fd_to_file[fd].poll_mask() & (ev | POLL_ALWAYS)
+    }
+    assert {p.fd: p.revents for p in ready} == expected

@@ -1,0 +1,168 @@
+"""Unit + property tests for the in-kernel interest set (section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interest_set import InterestSet
+from repro.kernel.constants import POLLIN, POLLOUT, POLLPRI, POLLREMOVE
+from repro.kernel.file import NullFile
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def file():
+    return NullFile(Kernel(Simulator(), "k"), "f")
+
+
+def test_insert_and_lookup(file):
+    s = InterestSet()
+    entry = s.update(5, POLLIN, file)
+    assert entry.fd == 5 and entry.events == POLLIN
+    assert s.lookup(5) is entry
+    assert len(s) == 1
+
+
+def test_lookup_missing_returns_none():
+    assert InterestSet().lookup(9) is None
+
+
+def test_modify_replaces_events_by_default(file):
+    """Paper: 'The contents of the events field replace the previous
+    interest, unlike the Solaris implementation.'"""
+    s = InterestSet()
+    s.update(5, POLLIN, file)
+    entry = s.update(5, POLLOUT, file)
+    assert entry.events == POLLOUT
+    assert len(s) == 1
+
+
+def test_solaris_or_mode(file):
+    s = InterestSet()
+    s.update(5, POLLIN, file)
+    entry = s.update(5, POLLOUT, file, or_mode=True)
+    assert entry.events == POLLIN | POLLOUT
+
+
+def test_pollremove_removes(file):
+    s = InterestSet()
+    s.update(5, POLLIN, file)
+    removed = s.update(5, POLLREMOVE, None)
+    assert removed is not None and removed.fd == 5
+    assert not removed.active
+    assert s.lookup(5) is None
+    assert len(s) == 0
+
+
+def test_pollremove_missing_returns_none():
+    assert InterestSet().update(5, POLLREMOVE, None) is None
+
+
+def test_remove_flag_combined_with_other_bits_still_removes(file):
+    s = InterestSet()
+    s.update(3, POLLIN, file)
+    s.update(3, POLLREMOVE | POLLIN, None)
+    assert len(s) == 0
+
+
+def test_hash_grows_at_average_bucket_size_two(file):
+    s = InterestSet()
+    assert s.nbuckets == 8
+    for fd in range(16):
+        s.update(fd, POLLIN, file)
+    assert s.nbuckets == 16  # doubled once 16 entries hit 8 buckets
+    assert s.grow_count == 1
+
+
+def test_hash_never_shrinks(file):
+    s = InterestSet()
+    for fd in range(64):
+        s.update(fd, POLLIN, file)
+    grown = s.nbuckets
+    for fd in range(64):
+        s.update(fd, POLLREMOVE, None)
+    assert len(s) == 0
+    assert s.nbuckets == grown
+
+
+def test_entries_survive_growth(file):
+    s = InterestSet()
+    for fd in range(100):
+        s.update(fd, POLLIN if fd % 2 else POLLOUT, file)
+    for fd in range(100):
+        entry = s.lookup(fd)
+        assert entry is not None
+        assert entry.events == (POLLIN if fd % 2 else POLLOUT)
+
+
+def test_fds_sorted(file):
+    s = InterestSet()
+    for fd in (9, 2, 5):
+        s.update(fd, POLLIN, file)
+    assert s.fds() == [2, 5, 9]
+
+
+def test_iteration_covers_all_entries(file):
+    s = InterestSet()
+    for fd in range(20):
+        s.update(fd, POLLIN, file)
+    assert sorted(e.fd for e in s) == list(range(20))
+
+
+def test_linear_kind_equivalent_semantics(file):
+    s = InterestSet(kind="linear")
+    s.update(5, POLLIN, file)
+    s.update(5, POLLOUT, file)
+    assert s.lookup(5).events == POLLOUT
+    s.update(5, POLLREMOVE, None)
+    assert len(s) == 0
+    assert s.fds() == []
+
+
+def test_linear_probes_grow_with_size(file):
+    s = InterestSet(kind="linear")
+    for fd in range(50):
+        s.update(fd, POLLIN, file)
+    s.op_probes = 0
+    s.lookup(49)
+    linear_probes = s.op_probes
+
+    h = InterestSet(kind="hash")
+    for fd in range(50):
+        h.update(fd, POLLIN, file)
+    h.op_probes = 0
+    h.lookup(49)
+    assert h.op_probes < linear_probes
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        InterestSet(kind="btree")
+
+
+@given(st.lists(st.tuples(st.sampled_from(["add", "mod", "remove"]),
+                          st.integers(0, 30),
+                          st.sampled_from([POLLIN, POLLOUT, POLLPRI,
+                                           POLLIN | POLLOUT])),
+                max_size=150),
+       st.sampled_from(["hash", "linear"]))
+@settings(max_examples=60)
+def test_interest_set_matches_dict_model(ops, kind):
+    file = NullFile(Kernel(Simulator(), "k"), "f")
+    s = InterestSet(kind=kind)
+    model = {}
+    for op, fd, events in ops:
+        if op == "remove":
+            s.update(fd, POLLREMOVE, None)
+            model.pop(fd, None)
+        elif op == "mod" and fd in model:
+            s.update(fd, events, file, or_mode=False)
+            model[fd] = events
+        else:
+            s.update(fd, events, file)
+            model[fd] = events
+    assert len(s) == len(model)
+    assert s.fds() == sorted(model)
+    for fd, events in model.items():
+        assert s.lookup(fd).events == events

@@ -1,0 +1,145 @@
+"""Unit tests for classic poll() (cost structure + semantics)."""
+
+import pytest
+
+from repro.kernel.constants import POLLIN, POLLNVAL, POLLOUT
+from repro.sim.process import spawn
+
+from .conftest import FakeDriverFile, drive
+
+
+def poll(sys_iface, interests, timeout):
+    return sys_iface.poll(interests, timeout)
+
+
+def test_poll_returns_only_ready_fds(kernel, task, sys_iface):
+    files = [FakeDriverFile(kernel, f"f{i}") for i in range(4)]
+    fds = [task.fdtable.alloc(f) for f in files]
+    files[2].set_ready(POLLIN)
+
+    result = drive(kernel.sim, poll(sys_iface, [(fd, POLLIN) for fd in fds], 0))
+    assert result == [(fds[2], POLLIN)]
+
+
+def test_poll_masks_revents_by_requested_events(kernel, task, sys_iface):
+    f = FakeDriverFile(kernel)
+    fd = task.fdtable.alloc(f)
+    f.set_ready(POLLIN | POLLOUT)
+    result = drive(kernel.sim, poll(sys_iface, [(fd, POLLOUT)], 0))
+    assert result == [(fd, POLLOUT)]
+
+
+def test_poll_reports_pollnval_for_closed_fd(kernel, task, sys_iface):
+    f = FakeDriverFile(kernel)
+    fd = task.fdtable.alloc(f)
+    task.fdtable.close(fd)
+    result = drive(kernel.sim, poll(sys_iface, [(fd, POLLIN)], 0))
+    assert result == [(fd, POLLNVAL)]
+
+
+def test_poll_zero_timeout_returns_empty_when_idle(kernel, task, sys_iface):
+    f = FakeDriverFile(kernel)
+    fd = task.fdtable.alloc(f)
+    assert drive(kernel.sim, poll(sys_iface, [(fd, POLLIN)], 0)) == []
+
+
+def test_poll_blocks_until_event(kernel, task, sys_iface):
+    sim = kernel.sim
+    f = FakeDriverFile(kernel)
+    fd = task.fdtable.alloc(f)
+    out = []
+
+    def body():
+        result = yield from sys_iface.poll([(fd, POLLIN)], None)
+        out.append((result, sim.now))
+
+    spawn(sim, body())
+    sim.schedule(2.0, f.set_ready, POLLIN)
+    sim.run()
+    assert out[0][0] == [(fd, POLLIN)]
+    assert out[0][1] >= 2.0
+
+
+def test_poll_timeout_expires_empty(kernel, task, sys_iface):
+    sim = kernel.sim
+    f = FakeDriverFile(kernel)
+    fd = task.fdtable.alloc(f)
+    out = []
+
+    def body():
+        result = yield from sys_iface.poll([(fd, POLLIN)], 1.5)
+        out.append((result, sim.now))
+
+    spawn(sim, body())
+    sim.run()
+    assert out == [([], pytest.approx(1.5, abs=0.01))]
+
+
+def test_poll_invokes_driver_callback_for_every_fd(kernel, task, sys_iface):
+    """The inefficiency /dev/poll hints fix: the kernel scans everything."""
+    files = [FakeDriverFile(kernel, f"f{i}") for i in range(10)]
+    fds = [task.fdtable.alloc(f) for f in files]
+    files[0].set_ready(POLLIN)
+    drive(kernel.sim, poll(sys_iface, [(fd, POLLIN) for fd in fds], 0))
+    assert all(f.poll_callback_count == 1 for f in files)
+
+
+def test_poll_cost_scales_with_interest_size(kernel, task, sys_iface):
+    small_files = [FakeDriverFile(kernel) for _ in range(2)]
+    big_files = [FakeDriverFile(kernel) for _ in range(200)]
+    small = [(task.fdtable.alloc(f), POLLIN) for f in small_files]
+    big = [(task.fdtable.alloc(f), POLLIN) for f in big_files]
+    small_files[0].set_ready(POLLIN)
+    big_files[0].set_ready(POLLIN)
+
+    busy0 = kernel.cpu.busy_time
+    drive(kernel.sim, poll(sys_iface, small, 0))
+    small_cost = kernel.cpu.busy_time - busy0
+    busy1 = kernel.cpu.busy_time
+    drive(kernel.sim, poll(sys_iface, big, 0))
+    big_cost = kernel.cpu.busy_time - busy1
+    assert big_cost > 20 * small_cost
+
+
+def test_poll_wait_registers_and_removes_wait_entries(kernel, task, sys_iface):
+    sim = kernel.sim
+    files = [FakeDriverFile(kernel) for _ in range(3)]
+    fds = [task.fdtable.alloc(f) for f in files]
+
+    def body():
+        yield from sys_iface.poll([(fd, POLLIN) for fd in fds], None)
+
+    spawn(sim, body())
+    sim.run(until=1.0)
+    assert all(len(f.wait_queue) == 1 for f in files)
+    files[1].set_ready(POLLIN)
+    sim.run()
+    assert all(len(f.wait_queue) == 0 for f in files)
+
+
+def test_poll_rescans_after_wakeup(kernel, task, sys_iface):
+    """A wakeup triggers a full rescan, so events on *other* fds are
+    picked up too."""
+    sim = kernel.sim
+    a, b = FakeDriverFile(kernel, "a"), FakeDriverFile(kernel, "b")
+    fda, fdb = task.fdtable.alloc(a), task.fdtable.alloc(b)
+    out = []
+
+    def body():
+        result = yield from sys_iface.poll([(fda, POLLIN), (fdb, POLLIN)], None)
+        out.append(sorted(result))
+
+    spawn(sim, body())
+
+    def both():
+        a._mask = POLLIN  # silent readiness (no notify)
+        b.set_ready(POLLIN)  # this one wakes the sleeper
+
+    sim.schedule(1.0, both)
+    sim.run()
+    assert out == [[(fda, POLLIN), (fdb, POLLIN)]]
+
+
+def test_empty_interest_list_with_timeout(kernel, task, sys_iface):
+    result = drive(kernel.sim, poll(sys_iface, [], 0.5))
+    assert result == []

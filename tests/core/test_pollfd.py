@@ -1,0 +1,59 @@
+"""Figures 1-3 of the paper are struct listings; assert our dataclasses
+carry exactly those fields (plus the documented timeout-unit deviation).
+"""
+
+from dataclasses import fields
+
+from repro.core.pollfd import DP_ALLOC, DP_FREE, DP_POLL, DP_POLL_WRITE, DvPoll, PollFd
+from repro.kernel.constants import POLLIN, POLLREMOVE
+from repro.kernel.signals import Siginfo
+
+
+def test_figure1_pollfd_fields():
+    """struct pollfd { int fd; short events; short revents; }"""
+    names = [f.name for f in fields(PollFd)]
+    assert names == ["fd", "events", "revents"]
+    p = PollFd(5, POLLIN)
+    assert (p.fd, p.events, p.revents) == (5, POLLIN, 0)
+
+
+def test_figure2_siginfo_fields():
+    """siginfo: si_signo, si_errno/si_code, and the _sigpoll payload
+    (_band, _fd)."""
+    names = [f.name for f in fields(Siginfo)]
+    assert "si_signo" in names
+    assert "si_code" in names
+    assert "si_band" in names   # _sifields._sigpoll._band
+    assert "si_fd" in names     # _sifields._sigpoll._fd
+    info = Siginfo(si_signo=40, si_band=POLLIN, si_fd=7)
+    assert info.si_fd == 7 and info.si_band == POLLIN
+
+
+def test_figure2_siginfo_is_immutable():
+    import dataclasses
+
+    import pytest
+
+    info = Siginfo(si_signo=40)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        info.si_fd = 3  # type: ignore[misc]
+
+
+def test_figure3_dvpoll_fields():
+    """struct dvpoll { struct pollfd* dp_fds; int dp_nfds; int dp_timeout; }"""
+    names = [f.name for f in fields(DvPoll)]
+    assert names == ["dp_fds", "dp_nfds", "dp_timeout"]
+    d = DvPoll()
+    assert d.dp_fds == [] and d.dp_nfds == 0 and d.dp_timeout is None
+    # dp_fds=None selects the mmap result area (section 3.3)
+    assert DvPoll(dp_fds=None).dp_fds is None
+
+
+def test_ioctl_numbers_distinct():
+    assert len({DP_POLL, DP_ALLOC, DP_FREE, DP_POLL_WRITE}) == 4
+
+
+def test_pollfd_repr_is_readable():
+    text = repr(PollFd(3, POLLIN | POLLREMOVE))
+    assert "fd=3" in text
+    assert "IN" in text and "REMOVE" in text

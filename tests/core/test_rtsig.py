@@ -1,0 +1,106 @@
+"""Unit tests for RT-signal helpers (allocator + arming)."""
+
+import pytest
+
+from repro.core.rtsig import SignalNumberAllocator, arm_rtsig, disarm_rtsig
+from repro.kernel.constants import (
+    O_ASYNC,
+    O_NONBLOCK,
+    SIGRT_LINUXTHREADS,
+    SIGRTMAX,
+    SIGRTMIN,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import SyscallInterface
+from repro.sim.engine import Simulator
+
+from .conftest import FakeDriverFile, drive
+
+
+def test_allocator_skips_linuxthreads_signal():
+    alloc = SignalNumberAllocator(avoid_linuxthreads=True)
+    numbers = [alloc.allocate() for _ in range(64)]
+    assert SIGRT_LINUXTHREADS not in numbers
+
+
+def test_allocator_without_avoidance_starts_at_sigrtmin():
+    alloc = SignalNumberAllocator(avoid_linuxthreads=False)
+    assert alloc.allocate() == SIGRTMIN
+
+
+def test_allocator_unique_until_wrap():
+    alloc = SignalNumberAllocator()
+    span = SIGRTMAX - (SIGRTMIN + 1) + 1
+    numbers = [alloc.allocate() for _ in range(span)]
+    assert len(set(numbers)) == span
+    assert alloc.allocate() == numbers[0]  # wraps round-robin
+
+
+def test_allocator_stays_in_rt_range():
+    alloc = SignalNumberAllocator()
+    for _ in range(200):
+        n = alloc.allocate()
+        assert SIGRTMIN <= n <= SIGRTMAX
+
+
+def test_shared_number_mode():
+    alloc = SignalNumberAllocator(per_fd_unique=False)
+    assert alloc.allocate() == alloc.allocate()
+    assert len(alloc.sigset()) == 1
+
+
+def test_sigset_covers_allocations():
+    alloc = SignalNumberAllocator()
+    allocated = {alloc.allocate() for _ in range(100)}
+    assert allocated <= alloc.sigset()
+
+
+def test_custom_base():
+    alloc = SignalNumberAllocator(base=40)
+    assert alloc.allocate() == 40
+
+
+def test_bad_base_rejected():
+    with pytest.raises(ValueError):
+        SignalNumberAllocator(base=10)
+
+
+def test_arm_rtsig_sets_owner_signal_and_flags():
+    kernel = Kernel(Simulator(), "k")
+    task = kernel.new_task("t")
+    sys = SyscallInterface(task)
+    f = FakeDriverFile(kernel)
+    fd = task.fdtable.alloc(f)
+    drive(kernel.sim, arm_rtsig(sys, fd, 44))
+    assert f.async_owner is task
+    assert f.async_sig == 44
+    assert f.async_fd == fd
+    assert f.f_flags & O_ASYNC
+    assert f.f_flags & O_NONBLOCK
+
+
+def test_arm_rtsig_without_nonblock():
+    kernel = Kernel(Simulator(), "k")
+    task = kernel.new_task("t")
+    sys = SyscallInterface(task)
+    f = FakeDriverFile(kernel)
+    fd = task.fdtable.alloc(f)
+    drive(kernel.sim, arm_rtsig(sys, fd, 44, nonblocking=False))
+    assert not (f.f_flags & O_NONBLOCK)
+
+
+def test_disarm_rtsig_stops_delivery():
+    from repro.kernel.constants import POLLIN
+
+    kernel = Kernel(Simulator(), "k")
+    task = kernel.new_task("t")
+    sys = SyscallInterface(task)
+    f = FakeDriverFile(kernel)
+    fd = task.fdtable.alloc(f)
+    drive(kernel.sim, arm_rtsig(sys, fd, 44))
+    f.set_ready(POLLIN)
+    assert task.signal_queue.rt_depth == 1
+    task.signal_queue.flush_rt()
+    drive(kernel.sim, disarm_rtsig(sys, fd))
+    f.set_ready(POLLIN)
+    assert task.signal_queue.rt_depth == 0

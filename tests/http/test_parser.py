@@ -1,0 +1,131 @@
+"""HTTP request parser tests, including the inactive-connection cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.http.messages import get_request
+from repro.http.parser import MAX_REQUEST_BYTES, RequestParseError, RequestParser
+
+
+FULL = b"GET /index.html HTTP/1.0\r\nHost: server\r\nUser-Agent: ua\r\n\r\n"
+
+
+def test_parse_complete_request():
+    p = RequestParser()
+    req = p.feed(FULL)
+    assert req is not None
+    assert req.method == "GET"
+    assert req.path == "/index.html"
+    assert req.version == "HTTP/1.0"
+    assert req.headers == {"Host": "server", "User-Agent": "ua"}
+
+
+def test_partial_request_returns_none():
+    """The inactive-connection workload: a head that never completes."""
+    p = RequestParser()
+    assert p.feed(b"GET /index.html HTT") is None
+    assert p.feed(b"P/1.0\r\nUser-Agent: slow-modem") is None
+    assert p.complete is None
+    assert p.bytes_buffered > 0
+
+
+def test_incremental_completion():
+    p = RequestParser()
+    assert p.feed(FULL[:10]) is None
+    assert p.feed(FULL[10:30]) is None
+    req = p.feed(FULL[30:])
+    assert req is not None and req.path == "/index.html"
+
+
+def test_feed_after_complete_returns_same_request():
+    p = RequestParser()
+    req = p.feed(FULL)
+    assert p.feed(b"garbage") is req
+
+
+def test_http09_two_token_request_line():
+    p = RequestParser()
+    req = p.feed(b"GET /\r\n\r\n")
+    assert req.version == "HTTP/0.9"
+
+
+def test_bad_request_line_raises():
+    p = RequestParser()
+    with pytest.raises(RequestParseError):
+        p.feed(b"NONSENSE\r\n\r\n")
+
+
+def test_unsupported_method_raises():
+    p = RequestParser()
+    with pytest.raises(RequestParseError):
+        p.feed(b"BREW /coffee HTCPCP/1.0\r\n\r\n")
+
+
+def test_bad_header_line_raises():
+    p = RequestParser()
+    with pytest.raises(RequestParseError):
+        p.feed(b"GET / HTTP/1.0\r\nBadHeaderNoColon\r\n\r\n")
+
+
+def test_non_ascii_head_raises():
+    p = RequestParser()
+    with pytest.raises(RequestParseError):
+        p.feed("GET /é HTTP/1.0\r\n\r\n".encode("utf-8"))
+
+
+def test_oversized_head_raises():
+    p = RequestParser()
+    with pytest.raises(RequestParseError):
+        p.feed(b"GET /" + b"a" * MAX_REQUEST_BYTES + b" HTTP/1.0\r\n\r\n")
+
+
+def test_oversized_without_terminator_raises():
+    p = RequestParser()
+    with pytest.raises(RequestParseError):
+        for _ in range(MAX_REQUEST_BYTES // 64 + 2):
+            p.feed(b"x" * 64)
+
+
+def test_reset_clears_state():
+    p = RequestParser()
+    p.feed(FULL)
+    p.reset()
+    assert p.complete is None
+    assert p.bytes_buffered == 0
+    assert p.feed(FULL) is not None
+
+
+def test_header_whitespace_stripped():
+    p = RequestParser()
+    req = p.feed(b"GET / HTTP/1.0\r\nHost:   spaced.example   \r\n\r\n")
+    assert req.headers["Host"] == "spaced.example"
+
+
+def test_get_request_roundtrips_through_parser():
+    p = RequestParser()
+    req = p.feed(get_request("/index.html"))
+    assert req is not None
+    assert req.path == "/index.html"
+    assert req.headers["Host"] == "server"
+
+
+@given(data=st.data())
+@settings(max_examples=60)
+def test_any_fragmentation_parses_identically(data):
+    """Splitting the request bytes at arbitrary points never changes the
+    parse result -- the property event-driven servers rely on."""
+    cuts = data.draw(st.lists(
+        st.integers(min_value=0, max_value=len(FULL)), max_size=6))
+    points = sorted(set(cuts))
+    p = RequestParser()
+    prev = 0
+    req = None
+    for cut in points + [len(FULL)]:
+        if cut > prev:
+            req = p.feed(FULL[prev:cut])
+            prev = cut
+    assert req is not None
+    assert req.method == "GET"
+    assert req.path == "/index.html"
+    assert req.headers == {"Host": "server", "User-Agent": "ua"}

@@ -1,0 +1,60 @@
+"""Tests for ABI constants and their helpers."""
+
+import pytest
+
+from repro.kernel.constants import (
+    EAGAIN,
+    EBADF,
+    NSIG,
+    POLLIN,
+    POLLNVAL,
+    POLLOUT,
+    POLLREMOVE,
+    RTSIG_MAX_DEFAULT,
+    SIGIO,
+    SIGRT_LINUXTHREADS,
+    SIGRTMAX,
+    SIGRTMIN,
+    SyscallError,
+    errno_name,
+    poll_mask_name,
+)
+
+
+def test_poll_bits_are_distinct_powers_of_two():
+    bits = [POLLIN, POLLOUT, POLLNVAL, POLLREMOVE]
+    for b in bits:
+        assert b & (b - 1) == 0  # single bit
+    assert len({*bits}) == len(bits)
+
+
+def test_poll_mask_name_rendering():
+    assert poll_mask_name(POLLIN) == "IN"
+    assert "IN" in poll_mask_name(POLLIN | POLLOUT)
+    assert "OUT" in poll_mask_name(POLLIN | POLLOUT)
+    assert poll_mask_name(0) == "0"
+    assert "REMOVE" in poll_mask_name(POLLREMOVE)
+
+
+def test_signal_constants_match_linux():
+    assert SIGIO == 29
+    assert SIGRTMIN == 32
+    assert SIGRTMAX == 63
+    assert NSIG == 64
+    assert SIGRT_LINUXTHREADS == SIGRTMIN  # glibc pthreads' claim (sec 6)
+    assert RTSIG_MAX_DEFAULT == 1024      # "1024 by default" (sec 4)
+
+
+def test_errno_name():
+    assert errno_name(EAGAIN) == "EAGAIN"
+    assert errno_name(EBADF) == "EBADF"
+    assert "999" in errno_name(999)
+
+
+def test_syscall_error_carries_errno():
+    err = SyscallError(EAGAIN)
+    assert err.errno_code == EAGAIN
+    assert err.errno == EAGAIN  # OSError compatibility
+    assert "EAGAIN" in repr(err)
+    with pytest.raises(OSError):
+        raise SyscallError(EBADF, "context")

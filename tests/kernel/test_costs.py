@@ -1,0 +1,57 @@
+"""Tests for the cost model dataclass."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernel.costs import (
+    CLIENT_CPU_SPEED,
+    DEFAULT_COSTS,
+    SERVER_CPU_SPEED,
+    CostModel,
+)
+
+
+def test_all_costs_nonnegative():
+    for field in dataclasses.fields(CostModel):
+        assert getattr(DEFAULT_COSTS, field.name) >= 0, field.name
+
+
+def test_scaled_multiplies_every_field():
+    doubled = DEFAULT_COSTS.scaled(2.0)
+    for field in dataclasses.fields(CostModel):
+        assert getattr(doubled, field.name) == pytest.approx(
+            2.0 * getattr(DEFAULT_COSTS, field.name))
+
+
+def test_with_overrides():
+    tweaked = DEFAULT_COSTS.with_overrides(syscall_entry=1e-3)
+    assert tweaked.syscall_entry == 1e-3
+    assert tweaked.accept_op == DEFAULT_COSTS.accept_op
+    # frozen: the original is untouched
+    assert DEFAULT_COSTS.syscall_entry != 1e-3
+
+
+def test_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_COSTS.syscall_entry = 0  # type: ignore[misc]
+
+
+def test_paper_host_speeds():
+    # 400 MHz K6-2 server, 4x500 MHz Xeon client (section 5)
+    assert SERVER_CPU_SPEED < 1.0 < CLIENT_CPU_SPEED
+
+
+def test_hint_cost_cheaper_than_full_poll_scan():
+    """The whole point of hints: marking one is far cheaper than a
+    driver poll callback on every descriptor."""
+    c = DEFAULT_COSTS
+    assert c.backmap_mark_hint + c.backmap_lock_acquire < c.poll_driver_callback
+
+
+def test_mmap_eliminates_copyout():
+    assert DEFAULT_COSTS.devpoll_copyout_per_ready > 0  # the saved term
+
+
+def test_sendfile_cheaper_than_copy():
+    assert DEFAULT_COSTS.sendfile_per_byte < DEFAULT_COSTS.sock_copy_per_byte

@@ -1,0 +1,181 @@
+"""Unit + property tests for the fd table (lowest-free semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.constants import EBADF, EMFILE, SyscallError
+from repro.kernel.fdtable import FDTable
+from repro.kernel.file import File, NullFile
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Simulator
+
+
+def make_file():
+    return NullFile(Kernel(Simulator(), "k"), "f")
+
+
+def test_alloc_starts_at_zero_and_increments():
+    t = FDTable()
+    assert t.alloc(make_file()) == 0
+    assert t.alloc(make_file()) == 1
+    assert t.alloc(make_file()) == 2
+
+
+def test_lowest_free_fd_reused_after_close():
+    t = FDTable()
+    for _ in range(4):
+        t.alloc(make_file())
+    t.close(1)
+    t.close(3)
+    assert t.alloc(make_file()) == 1
+    assert t.alloc(make_file()) == 3
+    assert t.alloc(make_file()) == 4
+
+
+def test_close_then_alloc_interleaved_never_collides():
+    """Regression: the old scan-pointer logic handed out occupied fds."""
+    t = FDTable()
+    fds = [t.alloc(make_file()) for _ in range(3)]  # 0,1,2
+    t.close(1)
+    a = t.alloc(make_file())        # 1
+    b = t.alloc(make_file())        # must be 3, not 2
+    assert (a, b) == (1, 3)
+    assert len(t) == 4
+
+
+def test_emfile_at_limit():
+    t = FDTable(limit=3)
+    for _ in range(3):
+        t.alloc(make_file())
+    with pytest.raises(SyscallError) as err:
+        t.alloc(make_file())
+    assert err.value.errno_code == EMFILE
+
+
+def test_limit_reusable_after_close():
+    t = FDTable(limit=2)
+    t.alloc(make_file())
+    t.alloc(make_file())
+    t.close(0)
+    assert t.alloc(make_file()) == 0
+
+
+def test_get_and_lookup():
+    t = FDTable()
+    f = make_file()
+    fd = t.alloc(f)
+    assert t.get(fd) is f
+    assert t.lookup(fd) is f
+    assert t.lookup(99) is None
+    with pytest.raises(SyscallError) as err:
+        t.get(99)
+    assert err.value.errno_code == EBADF
+
+
+def test_close_drops_reference_and_releases():
+    t = FDTable()
+    f = make_file()
+    fd = t.alloc(f)
+    assert f.refcount == 1
+    t.close(fd)
+    assert f.refcount == 0
+    assert f.closed
+
+
+def test_double_close_raises():
+    t = FDTable()
+    fd = t.alloc(make_file())
+    t.close(fd)
+    with pytest.raises(SyscallError):
+        t.close(fd)
+
+
+def test_shared_file_across_tables():
+    a, b = FDTable(), FDTable()
+    f = make_file()
+    fa = a.alloc(f)
+    fb = b.alloc(f)
+    assert f.refcount == 2
+    a.close(fa)
+    assert not f.closed
+    b.close(fb)
+    assert f.closed
+
+
+def test_install_at():
+    t = FDTable()
+    f = make_file()
+    t.install_at(5, f)
+    assert t.get(5) is f
+    # lower fds remain allocatable
+    assert t.alloc(make_file()) == 0
+    g = make_file()
+    t.install_at(5, g)  # replaces, releasing the old file
+    assert f.refcount == 0
+    assert t.get(5) is g
+
+
+def test_install_at_out_of_range():
+    t = FDTable(limit=8)
+    with pytest.raises(SyscallError):
+        t.install_at(8, make_file())
+    with pytest.raises(SyscallError):
+        t.install_at(-1, make_file())
+
+
+def test_close_all():
+    t = FDTable()
+    files = [make_file() for _ in range(3)]
+    for f in files:
+        t.alloc(f)
+    t.close_all()
+    assert len(t) == 0
+    assert all(f.closed for f in files)
+
+
+def test_items_sorted_and_contains():
+    t = FDTable()
+    for _ in range(3):
+        t.alloc(make_file())
+    t.close(1)
+    assert [fd for fd, _f in t.items()] == [0, 2]
+    assert 0 in t and 1 not in t
+    assert t.open_fds() == [0, 2]
+
+
+def test_high_water():
+    t = FDTable()
+    for _ in range(5):
+        t.alloc(make_file())
+    for fd in range(5):
+        t.close(fd)
+    assert t.high_water == 5
+
+
+@given(st.lists(st.tuples(st.sampled_from(["alloc", "close"]),
+                          st.integers(0, 15)), max_size=80))
+@settings(max_examples=60)
+def test_fdtable_matches_model(ops):
+    """Random alloc/close sequences behave like a reference model that
+    always picks the smallest free descriptor."""
+    t = FDTable(limit=16)
+    model = set()
+    for op, arg in ops:
+        if op == "alloc":
+            if len(model) >= 16:
+                with pytest.raises(SyscallError):
+                    t.alloc(make_file())
+                continue
+            fd = t.alloc(make_file())
+            expected = min(set(range(16)) - model)
+            assert fd == expected
+            model.add(fd)
+        else:
+            if arg in model:
+                t.close(arg)
+                model.remove(arg)
+            else:
+                with pytest.raises(SyscallError):
+                    t.close(arg)
+        assert set(t.open_fds()) == model

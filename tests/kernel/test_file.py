@@ -1,0 +1,125 @@
+"""Unit tests for the File base object (notify fan-out, refcounts)."""
+
+import pytest
+
+from repro.kernel.constants import POLLIN, POLLOUT
+from repro.kernel.file import File, NullFile
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import spawn
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(Simulator(), "k")
+
+
+def test_notify_wakes_wait_queue(kernel):
+    f = NullFile(kernel)
+    woken = []
+    f.wait_queue.add(lambda *a: woken.append(a))
+    f.notify(POLLIN)
+    assert len(woken) == 1
+    assert woken[0][1] == POLLIN
+
+
+def test_notify_invokes_status_listeners_with_band(kernel):
+    f = NullFile(kernel)
+    got = []
+    f.add_status_listener(lambda file, band: got.append((file, band)))
+    f.notify(POLLOUT)
+    assert got == [(f, POLLOUT)]
+
+
+def test_remove_status_listener(kernel):
+    f = NullFile(kernel)
+    got = []
+    listener = lambda file, band: got.append(band)  # noqa: E731
+    f.add_status_listener(listener)
+    f.remove_status_listener(listener)
+    f.remove_status_listener(listener)  # idempotent
+    f.notify(POLLIN)
+    assert got == []
+
+
+def test_listener_can_unregister_itself_during_notify(kernel):
+    f = NullFile(kernel)
+    got = []
+
+    def listener(file, band):
+        got.append(band)
+        file.remove_status_listener(listener)
+
+    f.add_status_listener(listener)
+    f.notify(POLLIN)
+    f.notify(POLLIN)
+    assert got == [POLLIN]
+
+
+def test_refcount_lifecycle(kernel):
+    f = NullFile(kernel)
+    f.get()
+    f.get()
+    assert f.refcount == 2
+    f.put()
+    assert not f.closed
+    f.put()
+    assert f.closed
+
+
+def test_put_underflow_raises(kernel):
+    f = NullFile(kernel)
+    with pytest.raises(SimulationError):
+        f.put()
+
+
+def test_get_after_close_raises(kernel):
+    f = NullFile(kernel)
+    f.get()
+    f.put()
+    with pytest.raises(SimulationError):
+        f.get()
+
+
+def test_release_clears_listeners(kernel):
+    f = NullFile(kernel)
+    f.add_status_listener(lambda file, band: None)
+    f.get()
+    f.put()
+    assert f._status_listeners == []
+
+
+def test_driver_poll_counts_invocations(kernel):
+    f = NullFile(kernel)
+    assert f.driver_poll() == POLLIN | POLLOUT
+    f.driver_poll()
+    assert f.poll_callback_count == 2
+
+
+def test_base_file_ops_raise(kernel):
+    f = File(kernel, "plain")
+    with pytest.raises(NotImplementedError):
+        f.poll_mask()
+
+    def try_read():
+        yield from f.do_read(None, 10)
+
+    sim = kernel.sim
+    spawn(sim, try_read())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_nullfile_read_write(kernel):
+    f = NullFile(kernel)
+    sim = kernel.sim
+    out = []
+
+    def body():
+        data = yield from f.do_read(None, 10)
+        n = yield from f.do_write(None, b"xyz")
+        out.append((data, n))
+
+    spawn(sim, body())
+    sim.run()
+    assert out == [(b"", 3)]

@@ -1,0 +1,254 @@
+"""Unit + property tests for POSIX RT signal queues (section 2 semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.constants import (
+    O_ASYNC,
+    POLL_HUP,
+    POLL_IN,
+    POLLHUP,
+    POLLIN,
+    POLLOUT,
+    SIGIO,
+    SIGRTMAX,
+    SIGRTMIN,
+)
+from repro.kernel.file import NullFile
+from repro.kernel.kernel import Kernel
+from repro.kernel.signals import SignalQueue, Siginfo, band_to_sicode
+from repro.sim.engine import Simulator
+
+
+def rt(signo, fd=0):
+    return Siginfo(si_signo=signo, si_fd=fd, si_band=POLLIN)
+
+
+# ---------------------------------------------------------------------------
+# ordering
+# ---------------------------------------------------------------------------
+
+def test_dequeue_lowest_signal_number_first():
+    q = SignalQueue()
+    q.post(rt(40))
+    q.post(rt(35))
+    q.post(rt(63))
+    assert [q.dequeue().si_signo for _ in range(3)] == [35, 40, 63]
+
+
+def test_fifo_within_a_signal_number():
+    q = SignalQueue()
+    for fd in (1, 2, 3):
+        q.post(rt(33, fd=fd))
+    assert [q.dequeue().si_fd for _ in range(3)] == [1, 2, 3]
+
+
+def test_low_numbers_shadow_high_numbers():
+    """The paper: activity on lower-numbered connections delays reports
+    for higher-numbered connections."""
+    q = SignalQueue()
+    q.post(rt(50, fd=9))
+    q.post(rt(33, fd=1))
+    q.post(rt(33, fd=2))
+    order = [q.dequeue().si_fd for _ in range(3)]
+    assert order == [1, 2, 9]
+
+
+def test_classic_signal_lower_than_rt_dequeues_first():
+    q = SignalQueue()
+    q.post(rt(33))
+    q.post(Siginfo(si_signo=SIGIO))
+    assert q.dequeue().si_signo == SIGIO  # 29 < 33
+
+
+def test_dequeue_with_sigset_filter():
+    q = SignalQueue()
+    q.post(rt(33))
+    q.post(rt(40))
+    info = q.dequeue(sigset={40})
+    assert info.si_signo == 40
+    assert q.dequeue(sigset={40}) is None
+    assert q.dequeue().si_signo == 33
+
+
+def test_dequeue_empty_returns_none():
+    assert SignalQueue().dequeue() is None
+
+
+# ---------------------------------------------------------------------------
+# classic (non-queued) signals
+# ---------------------------------------------------------------------------
+
+def test_classic_signal_is_pending_bit_not_queue():
+    q = SignalQueue()
+    q.post(Siginfo(si_signo=SIGIO))
+    q.post(Siginfo(si_signo=SIGIO))  # coalesces
+    assert q.dequeue().si_signo == SIGIO
+    assert q.dequeue() is None
+
+
+def test_clear_classic():
+    q = SignalQueue()
+    q.post(Siginfo(si_signo=SIGIO))
+    q.clear_classic(SIGIO)
+    assert q.dequeue() is None
+
+
+# ---------------------------------------------------------------------------
+# bounded queue / overflow
+# ---------------------------------------------------------------------------
+
+def test_rt_queue_bounded_and_drop_reported():
+    q = SignalQueue(rtsig_max=3)
+    assert all(q.post(rt(33, fd=i)) for i in range(3))
+    assert q.post(rt(33, fd=99)) is False
+    assert q.rt_depth == 3
+    assert q.stats.dropped == 1
+
+
+def test_classic_signals_unaffected_by_rt_bound():
+    q = SignalQueue(rtsig_max=1)
+    q.post(rt(33))
+    assert q.post(Siginfo(si_signo=SIGIO)) is True
+
+
+def test_flush_rt_discards_only_rt():
+    q = SignalQueue()
+    q.post(rt(33))
+    q.post(rt(40))
+    q.post(Siginfo(si_signo=SIGIO))
+    assert q.flush_rt() == 2
+    assert q.rt_depth == 0
+    assert q.dequeue().si_signo == SIGIO
+
+
+def test_max_depth_stat():
+    q = SignalQueue()
+    for i in range(5):
+        q.post(rt(33, fd=i))
+    q.dequeue()
+    q.post(rt(33))
+    assert q.stats.max_depth == 5
+
+
+def test_pending_signals_set():
+    q = SignalQueue()
+    q.post(rt(35))
+    q.post(Siginfo(si_signo=SIGIO))
+    assert q.pending_signals() == {35, SIGIO}
+    assert q.has_pending({35})
+    assert not q.has_pending({36})
+
+
+def test_dequeue_many_batches():
+    q = SignalQueue()
+    for i in range(5):
+        q.post(rt(33, fd=i))
+    batch = q.dequeue_many(None, 3)
+    assert [i.si_fd for i in batch] == [0, 1, 2]
+    assert q.rt_depth == 2
+
+
+def test_bad_signal_number_rejected():
+    q = SignalQueue()
+    with pytest.raises(ValueError):
+        q.post(Siginfo(si_signo=0))
+    with pytest.raises(ValueError):
+        q.post(Siginfo(si_signo=64))
+
+
+# ---------------------------------------------------------------------------
+# kill_fasync (fd -> signal delivery)
+# ---------------------------------------------------------------------------
+
+def make_armed_file(rtsig_max=1024, signo=40):
+    sim = Simulator()
+    kernel = Kernel(sim, "k")
+    task = kernel.new_task("t", rtsig_max=rtsig_max)
+    f = NullFile(kernel, "sock")
+    f.async_owner = task
+    f.async_sig = signo
+    f.async_fd = 7
+    f.f_flags |= O_ASYNC
+    return sim, kernel, task, f
+
+
+def test_notify_queues_rt_signal_with_payload():
+    sim, kernel, task, f = make_armed_file()
+    f.notify(POLLIN)
+    info = task.signal_queue.dequeue()
+    assert info.si_signo == 40
+    assert info.si_fd == 7
+    assert info.si_band & POLLIN
+    assert info.si_code == POLL_IN
+
+
+def test_notify_without_o_async_does_not_signal():
+    sim, kernel, task, f = make_armed_file()
+    f.f_flags = 0
+    f.notify(POLLIN)
+    assert task.signal_queue.dequeue() is None
+
+
+def test_overflow_posts_sigio():
+    sim, kernel, task, f = make_armed_file(rtsig_max=2)
+    for _ in range(3):
+        f.notify(POLLIN)
+    pending = task.signal_queue.pending_signals()
+    assert SIGIO in pending
+    assert task.signal_queue.rt_depth == 2
+    assert task.signal_queue.stats.overflows == 1
+
+
+def test_notify_wakes_sigwait_sleepers():
+    sim, kernel, task, f = make_armed_file()
+    woken = []
+    task.signal_wq.add(lambda *a: woken.append(True))
+    f.notify(POLLIN)
+    assert woken == [True]
+
+
+def test_stale_event_survives_close():
+    """Events queued before close stay queued (section 2 hazard)."""
+    sim, kernel, task, f = make_armed_file()
+    f.refcount = 1
+    f.notify(POLLIN)
+    f.put()  # close the file
+    info = task.signal_queue.dequeue()
+    assert info is not None and info.si_fd == 7  # stale fd reference
+
+
+def test_band_to_sicode():
+    from repro.kernel.constants import POLL_ERR, POLL_OUT, POLLERR
+
+    assert band_to_sicode(POLLIN) == POLL_IN
+    assert band_to_sicode(POLLOUT) == POLL_OUT
+    assert band_to_sicode(POLLHUP) == POLL_HUP
+    assert band_to_sicode(POLLERR | POLLIN) == POLL_ERR
+
+
+# ---------------------------------------------------------------------------
+# property: global dequeue ordering invariant
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(SIGRTMIN, SIGRTMAX),
+                          st.integers(0, 100)), max_size=120))
+@settings(max_examples=60)
+def test_dequeue_order_is_signo_then_fifo(posts):
+    q = SignalQueue(rtsig_max=10_000)
+    for seq, (signo, fd) in enumerate(posts):
+        q.post(Siginfo(si_signo=signo, si_fd=fd, si_band=seq))
+    drained = []
+    while True:
+        info = q.dequeue()
+        if info is None:
+            break
+        drained.append(info)
+    assert len(drained) == len(posts)
+    # reference: stable sort by signal number only
+    expected = sorted(
+        (Siginfo(si_signo=s, si_fd=f, si_band=i)
+         for i, (s, f) in enumerate(posts)),
+        key=lambda info: info.si_signo)
+    assert drained == expected

@@ -1,0 +1,360 @@
+"""Unit tests for the syscall layer: dispatch, fcntl, signals, accounting."""
+
+import pytest
+
+from repro.kernel.constants import (
+    EBADF,
+    EINVAL,
+    F_GETFL,
+    F_GETOWN,
+    F_GETSIG,
+    F_SETFL,
+    F_SETOWN,
+    F_SETSIG,
+    O_NONBLOCK,
+    SIGRTMIN,
+    SyscallError,
+)
+from repro.kernel.file import NullFile
+from repro.kernel.kernel import Kernel
+from repro.kernel.signals import Siginfo
+from repro.kernel.syscalls import SyscallInterface
+from repro.sim.engine import Simulator
+from repro.sim.process import ProcessCrashed, spawn
+
+
+def run_syscalls(body_factory):
+    """Drive a generator of syscalls; returns (result, kernel)."""
+    sim = Simulator()
+    kernel = Kernel(sim, "k")
+    task = kernel.new_task("t")
+    sys = SyscallInterface(task)
+    out = {}
+
+    def body():
+        out["result"] = yield from body_factory(sys, task)
+
+    spawn(sim, body())
+    sim.run()
+    return out.get("result"), kernel
+
+
+def with_null_fd(sys, task):
+    f = NullFile(task.kernel, "n")
+    return task.fdtable.alloc(f)
+
+
+def test_read_write_close_roundtrip():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        data = yield from sys.read(fd, 16)
+        n = yield from sys.write(fd, b"hello")
+        yield from sys.close(fd)
+        return (data, n, fd in task.fdtable)
+
+    result, kernel = run_syscalls(body)
+    assert result == (b"", 5, False)
+    assert kernel.counters.get("sys.read") == 1
+    assert kernel.counters.get("sys.write") == 1
+    assert kernel.counters.get("sys.close") == 1
+
+
+def test_read_bad_fd_raises_ebadf():
+    def body(sys, task):
+        try:
+            yield from sys.read(42, 10)
+        except SyscallError as err:
+            return err.errno_code
+
+    result, _ = run_syscalls(body)
+    assert result == EBADF
+
+
+def test_close_bad_fd():
+    def body(sys, task):
+        try:
+            yield from sys.close(7)
+        except SyscallError as err:
+            return err.errno_code
+
+    result, _ = run_syscalls(body)
+    assert result == EBADF
+
+
+def test_syscalls_charge_cpu():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        for _ in range(10):
+            yield from sys.read(fd, 1)
+        return None
+
+    _, kernel = run_syscalls(body)
+    assert kernel.cpu.busy_time >= 10 * kernel.costs.syscall_entry * 0.999
+
+
+def test_cpu_work_charges_named_category():
+    def body(sys, task):
+        yield from sys.cpu_work(1e-3, "parsing")
+
+    _, kernel = run_syscalls(body)
+    assert kernel.cpu.busy_by_category["parsing"] == pytest.approx(1e-3)
+
+
+# ---------------------------------------------------------------------------
+# fcntl
+# ---------------------------------------------------------------------------
+
+def test_fcntl_flags_roundtrip():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        yield from sys.fcntl(fd, F_SETFL, O_NONBLOCK)
+        return (yield from sys.fcntl(fd, F_GETFL))
+
+    result, _ = run_syscalls(body)
+    assert result == O_NONBLOCK
+
+
+def test_fcntl_setsig_getsig_and_owner():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        yield from sys.fcntl(fd, F_SETOWN, task.pid)
+        yield from sys.fcntl(fd, F_SETSIG, SIGRTMIN + 3)
+        sig = yield from sys.fcntl(fd, F_GETSIG)
+        owner = yield from sys.fcntl(fd, F_GETOWN)
+        file = task.fdtable.get(fd)
+        return sig, owner, file.async_fd
+
+    result, _ = run_syscalls(body)
+    (sig, owner, async_fd) = result
+    assert sig == SIGRTMIN + 3
+    assert owner > 0
+    assert async_fd == 0
+
+
+def test_fcntl_setsig_rejects_bad_signal():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        try:
+            yield from sys.fcntl(fd, F_SETSIG, 99)
+        except SyscallError as err:
+            return err.errno_code
+
+    result, _ = run_syscalls(body)
+    assert result == EINVAL
+
+
+def test_fcntl_unknown_op():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        try:
+            yield from sys.fcntl(fd, 0x7777)
+        except SyscallError as err:
+            return err.errno_code
+
+    result, _ = run_syscalls(body)
+    assert result == EINVAL
+
+
+# ---------------------------------------------------------------------------
+# sigwaitinfo / sigtimedwait4
+# ---------------------------------------------------------------------------
+
+def test_sigwaitinfo_returns_pending_immediately():
+    def body(sys, task):
+        task.signal_queue.post(Siginfo(si_signo=40, si_fd=5))
+        info = yield from sys.sigwaitinfo({40})
+        return info.si_fd
+
+    result, _ = run_syscalls(body)
+    assert result == 5
+
+
+def test_sigwaitinfo_blocks_until_posted():
+    sim = Simulator()
+    kernel = Kernel(sim, "k")
+    task = kernel.new_task("t")
+    sys = SyscallInterface(task)
+    out = []
+
+    def body():
+        info = yield from sys.sigwaitinfo({40})
+        out.append((info.si_signo, sim.now))
+
+    spawn(sim, body())
+    sim.schedule(
+        3.0, lambda: kernel.signals.post_signal(
+            task, Siginfo(si_signo=40)))
+    sim.run()
+    assert out[0][0] == 40
+    assert out[0][1] >= 3.0
+
+
+def test_sigwaitinfo_timeout_returns_none():
+    def body(sys, task):
+        return (yield from sys.sigwaitinfo({40}, timeout=1.0))
+
+    result, _ = run_syscalls(body)
+    assert result is None
+
+
+def test_sigwaitinfo_zero_timeout_polls():
+    def body(sys, task):
+        return (yield from sys.sigwaitinfo({40}, timeout=0))
+
+    result, _ = run_syscalls(body)
+    assert result is None
+
+
+def test_sigtimedwait4_batch():
+    def body(sys, task):
+        for fd in range(6):
+            task.signal_queue.post(Siginfo(si_signo=40, si_fd=fd))
+        infos = yield from sys.sigtimedwait4({40}, 4, timeout=0)
+        return [i.si_fd for i in infos]
+
+    result, _ = run_syscalls(body)
+    assert result == [0, 1, 2, 3]
+
+
+def test_sigtimedwait4_rejects_zero_batch():
+    def body(sys, task):
+        try:
+            yield from sys.sigtimedwait4({40}, 0, timeout=0)
+        except SyscallError as err:
+            return err.errno_code
+
+    result, _ = run_syscalls(body)
+    assert result == EINVAL
+
+
+def test_flush_rt_signals_counts():
+    def body(sys, task):
+        for _ in range(3):
+            task.signal_queue.post(Siginfo(si_signo=41))
+        return (yield from sys.flush_rt_signals())
+
+    result, _ = run_syscalls(body)
+    assert result == 3
+
+
+def test_rt_queue_depth_probe():
+    def body(sys, task):
+        task.signal_queue.post(Siginfo(si_signo=41))
+        if False:
+            yield
+        return sys.rt_queue_depth()
+
+    result, _ = run_syscalls(body)
+    assert result == 1
+
+
+# ---------------------------------------------------------------------------
+# /dev/poll open + mmap errors (details in tests/core/test_devpoll.py)
+# ---------------------------------------------------------------------------
+
+def test_open_devpoll_allocates_fd():
+    def body(sys, task):
+        fd = yield from sys.open_devpoll()
+        return fd, task.fdtable.get(fd).file_type
+
+    result, _ = run_syscalls(body)
+    assert result[1] == "devpoll"
+
+
+def test_mmap_on_non_devpoll_rejected():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        try:
+            yield from sys.mmap_devpoll(fd)
+        except SyscallError as err:
+            return err.errno_code
+
+    result, _ = run_syscalls(body)
+    assert result == EINVAL
+
+
+def test_socket_without_net_stack_fails():
+    def body(sys, task):
+        try:
+            yield from sys.socket()
+        except SyscallError as err:
+            return err.errno_code
+
+    result, _ = run_syscalls(body)
+    from repro.kernel.constants import ENOTSOCK
+
+    assert result == ENOTSOCK
+
+
+def test_task_clone_thread_shares_fdtable():
+    sim = Simulator()
+    kernel = Kernel(sim, "k")
+    t1 = kernel.new_task("t1")
+    t2 = t1.clone_thread("t2")
+    assert t1.fdtable is t2.fdtable
+    assert t1.pid != t2.pid
+    assert t1.signal_queue is not t2.signal_queue
+
+
+def test_dup_allocates_lowest_free_sharing_description():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        dup_fd = yield from sys.dup(fd)
+        file = task.fdtable.get(fd)
+        return dup_fd, task.fdtable.get(dup_fd) is file, file.refcount
+
+    result, _ = run_syscalls(body)
+    dup_fd, same, refs = result
+    assert dup_fd == 1
+    assert same
+    assert refs == 2
+
+
+def test_dup2_replaces_target():
+    def body(sys, task):
+        a = with_null_fd(sys, task)
+        b = with_null_fd(sys, task)
+        old_b_file = task.fdtable.get(b)
+        yield from sys.dup2(a, b)
+        return (task.fdtable.get(b) is task.fdtable.get(a),
+                old_b_file.closed)
+
+    result, _ = run_syscalls(body)
+    assert result == (True, True)
+
+
+def test_dup2_same_fd_is_noop():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        result = yield from sys.dup2(fd, fd)
+        return result, task.fdtable.get(fd).refcount
+
+    result, _ = run_syscalls(body)
+    assert result == (0, 1)
+
+
+def test_dup_shares_fasync_and_flags():
+    from repro.kernel.constants import O_NONBLOCK
+
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        yield from sys.fcntl(fd, F_SETFL, O_NONBLOCK)
+        dup_fd = yield from sys.dup(fd)
+        return (yield from sys.fcntl(dup_fd, F_GETFL))
+
+    result, _ = run_syscalls(body)
+    from repro.kernel.constants import O_NONBLOCK
+
+    assert result == O_NONBLOCK
+
+
+def test_close_one_dup_keeps_file_open():
+    def body(sys, task):
+        fd = with_null_fd(sys, task)
+        dup_fd = yield from sys.dup(fd)
+        yield from sys.close(fd)
+        file = task.fdtable.get(dup_fd)
+        return file.closed, file.refcount
+
+    result, _ = run_syscalls(body)
+    assert result == (False, 1)

@@ -1,0 +1,145 @@
+"""Unit tests for the Ethernet link/switch model."""
+
+import pytest
+
+from repro.net.link import (
+    ETHERNET_100MBIT,
+    LAN_LATENCY,
+    MSS,
+    WIRE_OVERHEAD_PER_SEGMENT,
+    Link,
+    Network,
+)
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_transmission_time_includes_headers_and_latency():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=1e6, latency=0.01)
+    arrivals = []
+    link.transmit(1000, 1, lambda: arrivals.append(sim.now))
+    sim.run()
+    wire = (1000 + WIRE_OVERHEAD_PER_SEGMENT) * 8 / 1e6
+    assert arrivals == [pytest.approx(wire + 0.01)]
+
+
+def test_multi_segment_overhead():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=1e6, latency=0)
+    arrivals = []
+    link.transmit(2000, 2, lambda: arrivals.append(sim.now))
+    sim.run()
+    wire = (2000 + 2 * WIRE_OVERHEAD_PER_SEGMENT) * 8 / 1e6
+    assert arrivals == [pytest.approx(wire)]
+
+
+def test_transmissions_serialize():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=1e6, latency=0)
+    arrivals = []
+    link.transmit(1000, 1, lambda: arrivals.append(("a", sim.now)))
+    link.transmit(1000, 1, lambda: arrivals.append(("b", sim.now)))
+    sim.run()
+    per = (1000 + WIRE_OVERHEAD_PER_SEGMENT) * 8 / 1e6
+    assert arrivals[0] == ("a", pytest.approx(per))
+    assert arrivals[1] == ("b", pytest.approx(2 * per))
+
+
+def test_queue_delay_reports_backlog():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=1e6, latency=0)
+    link.transmit(10000, 7, lambda: None)
+    assert link.queue_delay() > 0
+
+
+def test_link_idle_gap_not_counted():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=1e6, latency=0)
+    link.transmit(500, 1, lambda: None)
+    sim.run()
+    # transmit again later: starts fresh, not queued behind history
+    sim.schedule(5.0, lambda: link.transmit(500, 1, lambda: None))
+    start = sim.now
+    sim.run()
+    assert sim.now >= 5.0
+
+
+def test_utilization():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=1e6, latency=0)
+    link.transmit(12500, 9, lambda: None)  # 12500B+overhead = ~0.104s at 1Mb
+    sim.run()
+    assert 0 < link.utilization(1.0) <= 0.2
+
+
+def test_bad_bandwidth_and_segments():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Link(sim, "l", bandwidth_bps=0)
+    link = Link(sim, "l")
+    with pytest.raises(SimulationError):
+        link.transmit(10, 0, lambda: None)
+
+
+def test_frames_and_bytes_counted():
+    sim = Simulator()
+    link = Link(sim, "l")
+    link.transmit(MSS * 3, 3, lambda: None)
+    assert link.frames_sent == 3
+    assert link.bytes_sent == MSS * 3 + 3 * WIRE_OVERHEAD_PER_SEGMENT
+
+
+# ---------------------------------------------------------------------------
+# Network fabric
+# ---------------------------------------------------------------------------
+
+class FakeStack:
+    def __init__(self, name):
+        self.host_name = name
+
+
+def test_network_routes_between_attached_stacks():
+    sim = Simulator()
+    net = Network(sim, bandwidth_bps=1e6, latency=0.001)
+    net.attach(FakeStack("a"))
+    net.attach(FakeStack("b"))
+    arrivals = []
+    net.send("a", "b", 100, 1, lambda: arrivals.append(sim.now))
+    sim.run()
+    assert len(arrivals) == 1
+
+
+def test_network_duplicate_host_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.attach(FakeStack("a"))
+    with pytest.raises(SimulationError):
+        net.attach(FakeStack("a"))
+
+
+def test_network_unknown_destination_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.attach(FakeStack("a"))
+    with pytest.raises(SimulationError):
+        net.send("a", "nowhere", 10, 1, lambda: None)
+
+
+def test_directions_are_independent_links():
+    sim = Simulator()
+    net = Network(sim, bandwidth_bps=1e6, latency=0)
+    net.attach(FakeStack("a"))
+    net.attach(FakeStack("b"))
+    assert net.link_between("a", "b") is not net.link_between("b", "a")
+    # full duplex: both directions complete in one-direction time
+    arrivals = []
+    net.send("a", "b", 1000, 1, lambda: arrivals.append(sim.now))
+    net.send("b", "a", 1000, 1, lambda: arrivals.append(sim.now))
+    sim.run()
+    per = (1000 + WIRE_OVERHEAD_PER_SEGMENT) * 8 / 1e6
+    assert arrivals == [pytest.approx(per), pytest.approx(per)]
+
+
+def test_defaults_match_paper_testbed():
+    assert ETHERNET_100MBIT == 100e6
+    assert LAN_LATENCY < 0.001

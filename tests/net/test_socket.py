@@ -1,0 +1,307 @@
+"""SocketFile tests: nonblocking semantics, poll masks, accept, sendfile."""
+
+import pytest
+
+from repro.kernel.constants import (
+    EAGAIN,
+    EINVAL,
+    EISCONN,
+    F_SETFL,
+    O_NONBLOCK,
+    POLLERR,
+    POLLHUP,
+    POLLIN,
+    POLLOUT,
+    SyscallError,
+)
+from repro.net.socket import SocketFile, require_socket
+from repro.sim.process import spawn
+
+from ..conftest import TwoHosts
+
+
+def make_listener(sys, port=80, backlog=8):
+    def body():
+        lfd = yield from sys.socket()
+        yield from sys.bind(lfd, port)
+        yield from sys.listen(lfd, backlog)
+        return lfd
+
+    return body
+
+
+def establish_pair(sim, hosts):
+    """Returns (server_sys, client_sys, server_fd, client_fd) connected."""
+    ssys = hosts.server_sys()
+    csys = hosts.client_sys()
+    out = {}
+
+    def server():
+        lfd = yield from make_listener(ssys)()
+        fd, addr = yield from ssys.accept(lfd)
+        out["sfd"] = fd
+        out["addr"] = addr
+
+    def client():
+        fd = yield from csys.socket()
+        yield from csys.connect(fd, ("server", 80))
+        out["cfd"] = fd
+
+    spawn(sim, server(), "s")
+    spawn(sim, client(), "c")
+    sim.run(until=5)
+    return ssys, csys, out["sfd"], out["cfd"], out["addr"]
+
+
+def test_accept_returns_remote_addr(sim, hosts):
+    _ssys, _csys, _sfd, _cfd, addr = establish_pair(sim, hosts)
+    assert addr[0] == "client"
+    assert addr[1] >= 1024
+
+
+def test_nonblocking_read_eagain(sim, hosts):
+    ssys, csys, sfd, cfd, _ = establish_pair(sim, hosts)
+    result = {}
+
+    def body():
+        yield from ssys.fcntl(sfd, F_SETFL, O_NONBLOCK)
+        try:
+            yield from ssys.read(sfd, 10)
+        except SyscallError as err:
+            result["errno"] = err.errno_code
+
+    spawn(sim, body(), "b")
+    sim.run(until=10)
+    assert result["errno"] == EAGAIN
+
+
+def test_nonblocking_accept_eagain(sim, hosts):
+    ssys = hosts.server_sys()
+    result = {}
+
+    def body():
+        lfd = yield from make_listener(ssys)()
+        yield from ssys.fcntl(lfd, F_SETFL, O_NONBLOCK)
+        try:
+            yield from ssys.accept(lfd)
+        except SyscallError as err:
+            result["errno"] = err.errno_code
+
+    spawn(sim, body(), "b")
+    sim.run(until=5)
+    assert result["errno"] == EAGAIN
+
+
+def test_nonblocking_write_fills_buffers_then_eagain(sim, hosts):
+    ssys, csys, sfd, cfd, _ = establish_pair(sim, hosts)
+    result = {}
+
+    def body():
+        yield from ssys.fcntl(sfd, F_SETFL, O_NONBLOCK)
+        total = 0
+        try:
+            while True:
+                total += yield from ssys.write(sfd, b"x" * 8192)
+        except SyscallError as err:
+            result["errno"] = err.errno_code
+        result["total"] = total
+
+    spawn(sim, body(), "b")
+    sim.run(until=10)
+    assert result["errno"] == EAGAIN
+    # bounded by send buffer + peer receive buffer
+    assert 16384 <= result["total"] <= 16384 + 32768 + 8192
+
+
+def test_poll_mask_transitions(sim, hosts):
+    ssys, csys, sfd, cfd, _ = establish_pair(sim, hosts)
+    sfile = ssys.task.fdtable.get(sfd)
+    cfile = csys.task.fdtable.get(cfd)
+    assert sfile.poll_mask() & POLLOUT
+    assert not sfile.poll_mask() & POLLIN
+
+    def client_writes():
+        yield from csys.write(cfd, b"data")
+
+    spawn(sim, client_writes(), "w")
+    sim.run(until=6)
+    assert sfile.poll_mask() & POLLIN
+
+
+def test_listener_poll_mask(sim, hosts):
+    ssys = hosts.server_sys()
+    csys = hosts.client_sys()
+    out = {}
+
+    def server():
+        out["lfd"] = yield from make_listener(ssys)()
+
+    def client():
+        yield 0.5
+        fd = yield from csys.socket()
+        yield from csys.connect(fd, ("server", 80))
+
+    spawn(sim, server(), "s")
+    spawn(sim, client(), "c")
+    sim.run(until=0.25)
+    lfile = ssys.task.fdtable.get(out["lfd"])
+    assert lfile.poll_mask() == 0
+    sim.run(until=5)
+    assert lfile.poll_mask() == POLLIN
+
+
+def test_peer_close_sets_pollin_then_hup(sim, hosts):
+    ssys, csys, sfd, cfd, _ = establish_pair(sim, hosts)
+    sfile = ssys.task.fdtable.get(sfd)
+
+    def client_close():
+        yield from csys.close(cfd)
+
+    spawn(sim, client_close(), "cc")
+    sim.run(until=6)
+    assert sfile.poll_mask() & POLLIN  # EOF is readable
+
+
+def test_reset_sets_pollerr(sim, hosts):
+    ssys, csys, sfd, cfd, _ = establish_pair(sim, hosts)
+    sfile = ssys.task.fdtable.get(sfd)
+
+    def client_abort():
+        yield from csys.write(cfd, b"x")
+        # server never reads; close with... actually force RST via endpoint
+        csys.task.fdtable.get(cfd).endpoint.send_rst()
+        if False:
+            yield
+
+    spawn(sim, client_abort(), "ca")
+    sim.run(until=6)
+    assert sfile.poll_mask() & POLLERR
+    assert sfile.poll_mask() & POLLHUP
+
+
+def test_bind_on_connected_socket_rejected(sim, hosts):
+    ssys, csys, sfd, cfd, _ = establish_pair(sim, hosts)
+    sock = require_socket(csys.task.fdtable.get(cfd))
+    with pytest.raises(SyscallError):
+        sock.bind(99)
+
+
+def test_listen_before_bind_rejected(sim, hosts):
+    csys = hosts.client_sys()
+    result = {}
+
+    def body():
+        fd = yield from csys.socket()
+        try:
+            yield from csys.listen(fd, 8)
+        except SyscallError as err:
+            result["errno"] = err.errno_code
+
+    spawn(sim, body(), "b")
+    sim.run(until=2)
+    assert result["errno"] == EINVAL
+
+
+def test_connect_twice_rejected(sim, hosts):
+    ssys, csys, sfd, cfd, _ = establish_pair(sim, hosts)
+    result = {}
+
+    def body():
+        try:
+            yield from csys.connect(cfd, ("server", 80))
+        except SyscallError as err:
+            result["errno"] = err.errno_code
+
+    spawn(sim, body(), "b")
+    sim.run(until=10)
+    assert result["errno"] == EISCONN
+
+
+def test_accept_on_non_listening_socket_rejected(sim, hosts):
+    csys = hosts.client_sys()
+    result = {}
+
+    def body():
+        fd = yield from csys.socket()
+        try:
+            yield from csys.accept(fd)
+        except SyscallError as err:
+            result["errno"] = err.errno_code
+
+    spawn(sim, body(), "b")
+    sim.run(until=2)
+    assert result["errno"] == EINVAL
+
+
+def test_duplicate_listen_port_rejected(sim, hosts):
+    ssys = hosts.server_sys()
+    result = {}
+
+    def body():
+        yield from make_listener(ssys)()
+        fd2 = yield from ssys.socket()
+        yield from ssys.bind(fd2, 80)
+        try:
+            yield from ssys.listen(fd2, 4)
+        except SyscallError as err:
+            result["errno"] = err.errno_code
+
+    spawn(sim, body(), "b")
+    sim.run(until=2)
+    from repro.kernel.constants import EADDRINUSE
+
+    assert result["errno"] == EADDRINUSE
+
+
+def test_sendfile_transfers_bytes(sim, hosts):
+    ssys, csys, sfd, cfd, _ = establish_pair(sim, hosts)
+    got = {}
+
+    def server():
+        n = yield from ssys.sendfile(sfd, b"f" * 6144)
+        got["sent"] = n
+        yield from ssys.close(sfd)
+
+    def client():
+        total = 0
+        while True:
+            data = yield from csys.read(cfd, 65536)
+            if data == b"":
+                break
+            total += len(data)
+        got["received"] = total
+
+    spawn(sim, server(), "s")
+    spawn(sim, client(), "c")
+    sim.run(until=10)
+    assert got == {"sent": 6144, "received": 6144}
+
+
+def test_sendfile_charges_less_cpu_than_write(sim, hosts):
+    """The section 6 sendfile() suggestion: cheaper per byte."""
+    ssys, csys, sfd, cfd, _ = establish_pair(sim, hosts)
+    kernel = hosts.server
+
+    def drain():
+        total = 0
+        while total < 2 * 65536:
+            data = yield from csys.read(cfd, 65536)
+            total += len(data)
+
+    def server():
+        b0 = kernel.cpu.busy_time
+        yield from ssys.write(sfd, b"x" * 65536)
+        write_cost = kernel.cpu.busy_time - b0
+        b1 = kernel.cpu.busy_time
+        yield from ssys.sendfile(sfd, b"f" * 65536)
+        sendfile_cost = kernel.cpu.busy_time - b1
+        assert sendfile_cost < write_cost
+
+    spawn(sim, drain(), "d")
+    spawn(sim, server(), "s")
+    sim.run(until=20)
+
+
+def test_supports_hints_flag():
+    """Network sockets are the 'essential drivers' with hint support."""
+    assert SocketFile.supports_hints is True

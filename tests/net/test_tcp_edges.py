@@ -1,0 +1,197 @@
+"""TCP edge cases beyond the happy paths."""
+
+import pytest
+
+from repro.kernel.constants import ECONNRESET, SyscallError
+from repro.net.tcp import TRAIN_CAP
+from repro.sim.process import spawn
+
+from ..conftest import TwoHosts
+
+
+def make_pair(sim, hosts):
+    ssys = hosts.server_sys()
+    csys = hosts.client_sys()
+    out = {}
+
+    def server():
+        lfd = yield from ssys.socket()
+        yield from ssys.bind(lfd, 80)
+        yield from ssys.listen(lfd, 8)
+        fd, _ = yield from ssys.accept(lfd)
+        out["sfd"] = fd
+
+    def client():
+        fd = yield from csys.socket()
+        yield from csys.connect(fd, ("server", 80))
+        out["cfd"] = fd
+
+    spawn(sim, server(), "s")
+    spawn(sim, client(), "c")
+    sim.run(until=5)
+    return ssys, csys, out["sfd"], out["cfd"]
+
+
+def test_zero_byte_write_is_noop(sim, hosts):
+    ssys, csys, sfd, cfd = make_pair(sim, hosts)
+    out = {}
+
+    def body():
+        out["n"] = yield from ssys.write(sfd, b"")
+
+    spawn(sim, body(), "b")
+    sim.run(until=6)
+    assert out["n"] == 0
+
+
+def test_simultaneous_close_both_finalize(sim, hosts):
+    ssys, csys, sfd, cfd = make_pair(sim, hosts)
+    send = {}
+
+    def close_server():
+        send["s_ep"] = ssys.task.fdtable.get(sfd).endpoint
+        yield from ssys.close(sfd)
+
+    def close_client():
+        send["c_ep"] = csys.task.fdtable.get(cfd).endpoint
+        yield from csys.close(cfd)
+
+    spawn(sim, close_server(), "cs")
+    spawn(sim, close_client(), "cc")
+    sim.run(until=10)
+    assert send["s_ep"].finalized
+    assert send["c_ep"].finalized
+    # no connection is left counted open on either stack
+    assert hosts.server_stack.open_connections == 0
+    assert hosts.client_stack.open_connections == 0
+
+
+def test_half_close_peer_can_finish_reading(sim, hosts):
+    """Server closes right after writing; the client still receives the
+    full payload before seeing EOF (graceful FIN ordering)."""
+    ssys, csys, sfd, cfd = make_pair(sim, hosts)
+    out = {}
+
+    def server():
+        yield from ssys.write(sfd, b"z" * 50000)
+        yield from ssys.close(sfd)  # send buffer still draining
+
+    def client():
+        total = 0
+        while True:
+            data = yield from csys.read(cfd, 8192)
+            if data == b"":
+                break
+            total += len(data)
+        out["total"] = total
+
+    spawn(sim, server(), "s")
+    spawn(sim, client(), "c")
+    sim.run(until=30)
+    assert out["total"] == 50000
+
+
+def test_transfer_larger_than_train_cap(sim, hosts):
+    ssys, csys, sfd, cfd = make_pair(sim, hosts)
+    n = TRAIN_CAP * 2 + 12345
+    out = {}
+
+    def server():
+        yield from ssys.write(sfd, b"q" * n)
+        yield from ssys.close(sfd)
+
+    def client():
+        total = 0
+        while True:
+            data = yield from csys.read(cfd, 65536)
+            if data == b"":
+                break
+            total += len(data)
+        out["total"] = total
+
+    spawn(sim, server(), "s")
+    spawn(sim, client(), "c")
+    sim.run(until=60)
+    assert out["total"] == n
+
+
+def test_read_after_reset_keeps_raising(sim, hosts):
+    ssys, csys, sfd, cfd = make_pair(sim, hosts)
+    errors = []
+
+    def client_resets():
+        csys.task.fdtable.get(cfd).endpoint.send_rst()
+        if False:
+            yield
+
+    def server_reads():
+        yield 1.0
+        for _ in range(2):
+            try:
+                yield from ssys.read(sfd, 10)
+            except SyscallError as err:
+                errors.append(err.errno_code)
+
+    spawn(sim, client_resets(), "cr")
+    spawn(sim, server_reads(), "sr")
+    sim.run(until=10)
+    assert errors == [ECONNRESET, ECONNRESET]
+
+
+def test_data_before_accept_is_buffered(sim, hosts):
+    """The request race: bytes arriving before accept() must be readable
+    on the accepted fd (phhttpd's initial-read path relies on this)."""
+    ssys = hosts.server_sys()
+    csys = hosts.client_sys()
+    out = {}
+
+    def server():
+        lfd = yield from ssys.socket()
+        yield from ssys.bind(lfd, 80)
+        yield from ssys.listen(lfd, 8)
+        yield 1.0  # client connects AND sends before we accept
+        fd, _ = yield from ssys.accept(lfd)
+        out["data"] = yield from ssys.read(fd, 100)
+
+    def client():
+        fd = yield from csys.socket()
+        yield from csys.connect(fd, ("server", 80))
+        yield from csys.write(fd, b"early bird")
+
+    spawn(sim, server(), "s")
+    spawn(sim, client(), "c")
+    sim.run(until=10)
+    assert out["data"] == b"early bird"
+
+
+def test_many_sequential_connections_reuse_low_fds(sim, hosts):
+    """Serving N conns one at a time keeps the server's fd space small --
+    lowest-free allocation, the paper's inactive-conns-pin-low-fds setup."""
+    ssys = hosts.server_sys()
+    csys = hosts.client_sys()
+    fds_seen = []
+
+    def server():
+        lfd = yield from ssys.socket()
+        yield from ssys.bind(lfd, 80)
+        yield from ssys.listen(lfd, 8)
+        for _ in range(5):
+            fd, _ = yield from ssys.accept(lfd)
+            fds_seen.append(fd)
+            yield from ssys.read(fd, 100)
+            yield from ssys.write(fd, b"ok")
+            yield from ssys.close(fd)
+
+    def client():
+        for _ in range(5):
+            fd = yield from csys.socket()
+            yield from csys.connect(fd, ("server", 80))
+            yield from csys.write(fd, b"hi")
+            while (yield from csys.read(fd, 100)) != b"":
+                pass
+            yield from csys.close(fd)
+
+    spawn(sim, server(), "s")
+    spawn(sim, client(), "c")
+    sim.run(until=30)
+    assert fds_seen == [1, 1, 1, 1, 1]  # fd 0 = listener; child fd reused

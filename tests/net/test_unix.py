@@ -1,0 +1,159 @@
+"""UNIX socketpair + SCM_RIGHTS fd-passing tests (phhttpd's handoff path)."""
+
+import pytest
+
+from repro.kernel.constants import EPIPE, POLLHUP, POLLIN, POLLOUT, SyscallError
+from repro.kernel.file import NullFile
+from repro.net.unix import UnixSocketFile
+from repro.sim.process import spawn
+
+from ..conftest import TwoHosts
+
+
+def test_socketpair_roundtrip(sim, hosts):
+    sys = hosts.server_sys()
+    out = {}
+
+    def body():
+        a, b = yield from sys.socketpair()
+        yield from sys.write(a, b"ping")
+        out["data"] = yield from sys.read(b, 100)
+
+    spawn(sim, body(), "b")
+    sim.run(until=2)
+    assert out["data"] == b"ping"
+
+
+def test_fd_passing_moves_file_between_tasks(sim, hosts):
+    """The exact handoff pattern phhttpd uses on overflow."""
+    kernel = hosts.server
+    sender_sys = hosts.server_sys("sender")
+    receiver_sys = hosts.server_sys("receiver")
+    out = {}
+
+    def setup_and_send():
+        a_fd, b_fd = yield from sender_sys.socketpair()
+        # move one end into the receiver's table (fork-style inheritance)
+        b_file = sender_sys.task.fdtable.get(b_fd)
+        out["recv_handoff_fd"] = receiver_sys.task.fdtable.alloc(b_file)
+        yield from sender_sys.close(b_fd)
+        # pass a real file
+        payload_file = NullFile(kernel, "passed")
+        pfd = sender_sys.task.fdtable.alloc(payload_file)
+        out["orig_file"] = payload_file
+        yield from sender_sys.send_fds(a_fd, ("conn", "state"), [pfd])
+        yield from sender_sys.close(pfd)
+
+    def receive():
+        yield 0.5
+        payload, fds = yield from receiver_sys.recv_fds(out["recv_handoff_fd"])
+        out["payload"] = payload
+        out["fds"] = fds
+        out["file"] = receiver_sys.task.fdtable.get(fds[0])
+
+    spawn(sim, setup_and_send(), "send")
+    spawn(sim, receive(), "recv")
+    sim.run(until=5)
+    assert out["payload"] == ("conn", "state")
+    assert out["file"] is out["orig_file"]
+    # the file stayed alive across the sender's close (in-flight reference)
+    assert not out["orig_file"].closed
+    assert out["orig_file"].refcount == 1  # only the receiver's table now
+
+
+def test_recv_blocks_until_message(sim, hosts):
+    sys = hosts.server_sys()
+    out = {}
+
+    def body():
+        a, b = yield from sys.socketpair()
+
+        def sender():
+            yield 2.0
+            yield from sys.send_fds(a, ("late",), [])
+
+        spawn(sim, sender(), "snd")
+        payload, fds = yield from sys.recv_fds(b)
+        out["t"] = sim.now
+        out["payload"] = payload
+
+    spawn(sim, body(), "b")
+    sim.run(until=10)
+    assert out["payload"] == ("late",)
+    assert out["t"] >= 2.0
+
+
+def test_recv_timeout_raises_eagain(sim, hosts):
+    sys = hosts.server_sys()
+    out = {}
+
+    def body():
+        _a, b = yield from sys.socketpair()
+        try:
+            yield from sys.recv_fds(b, timeout=1.0)
+        except SyscallError as err:
+            out["errno"] = err.errno_code
+
+    spawn(sim, body(), "b")
+    sim.run(until=5)
+    from repro.kernel.constants import EAGAIN
+
+    assert out["errno"] == EAGAIN
+
+
+def test_send_to_closed_peer_raises_epipe(sim, hosts):
+    sys = hosts.server_sys()
+    out = {}
+
+    def body():
+        a, b = yield from sys.socketpair()
+        yield from sys.close(b)
+        try:
+            yield from sys.send_fds(a, ("x",), [])
+        except SyscallError as err:
+            out["errno"] = err.errno_code
+
+    spawn(sim, body(), "b")
+    sim.run(until=2)
+    assert out["errno"] == EPIPE
+
+
+def test_peer_close_gives_eof(sim, hosts):
+    sys = hosts.server_sys()
+    out = {}
+
+    def body():
+        a, b = yield from sys.socketpair()
+        yield from sys.close(a)
+        payload, fds = yield from sys.recv_fds(b)
+        out["eof"] = (payload, fds)
+
+    spawn(sim, body(), "b")
+    sim.run(until=2)
+    assert out["eof"] == (b"", [])
+
+
+def test_poll_mask(sim, hosts):
+    kernel = hosts.server
+    a, b = UnixSocketFile.make_pair(kernel)
+    assert a.poll_mask() & POLLOUT
+    assert not a.poll_mask() & POLLIN
+    a.send_message(b"m", [])
+    assert b.poll_mask() & POLLIN
+
+
+def test_release_drops_inflight_file_references(sim, hosts):
+    kernel = hosts.server
+    a, b = UnixSocketFile.make_pair(kernel)
+    a.get(), b.get()
+    passed = NullFile(kernel, "p")
+    a.send_message(b"m", [passed])
+    assert passed.refcount == 1
+    b.put()  # close receiver with the message still queued
+    assert passed.refcount == 0
+    assert passed.closed
+
+
+def test_no_hint_support():
+    """Unix sockets are not network drivers -- no hint modifications."""
+    assert UnixSocketFile.supports_hints is False

@@ -1,0 +1,59 @@
+"""Server-test helpers: a testbed plus a tiny synchronous HTTP client."""
+
+import pytest
+
+from repro.bench.testbed import Testbed, TestbedConfig
+from repro.http.messages import get_request, parse_status
+from repro.kernel.syscalls import SyscallInterface
+from repro.sim.process import spawn
+
+
+@pytest.fixture
+def testbed():
+    return Testbed(TestbedConfig(seed=1))
+
+
+def fetch_documents(testbed, count=1, path="/index.html", spacing=0.01,
+                    partial=False, client_task=None):
+    """Fetch ``count`` documents sequentially; returns the result dict
+    {index: (status, body_bytes)} once the simulator is run."""
+    task = client_task or testbed.client_kernel.new_task("mini-client",
+                                                         fd_limit=4096)
+    sys = SyscallInterface(task)
+    results = {}
+
+    def one(i):
+        def body():
+            yield i * spacing
+            fd = yield from sys.socket()
+            yield from sys.connect(fd, testbed.server_addr, timeout=10.0)
+            if partial:
+                yield from sys.write(fd, b"GET /index.html HTT")
+                results[i] = ("partial", fd)
+                return
+            yield from sys.write(fd, get_request(path))
+            buf = b""
+            while True:
+                data = yield from sys.read(fd, 65536)
+                if data == b"":
+                    break
+                buf += data
+            yield from sys.close(fd)
+            head, _sep, body_bytes = buf.partition(b"\r\n\r\n")
+            results[i] = (parse_status(buf), len(body_bytes))
+
+        return body
+
+    for i in range(count):
+        spawn(testbed.sim, one(i)(), f"mini{i}")
+    return results
+
+
+def run_until_quiet(testbed, horizon=30.0, condition=None):
+    """Advance until ``condition()`` or the horizon."""
+    step = 0.25
+    while testbed.sim.now < horizon:
+        testbed.sim.run(until=testbed.sim.now + step)
+        if condition is not None and condition():
+            return True
+    return condition() if condition is not None else True

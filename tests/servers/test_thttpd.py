@@ -1,0 +1,89 @@
+"""End-to-end tests for stock thttpd (poll event loop)."""
+
+from repro.http.content import DEFAULT_DOCUMENT_BYTES
+from repro.servers.base import ServerConfig
+from repro.servers.thttpd import ThttpdServer
+
+from .conftest import fetch_documents, run_until_quiet
+
+
+def make_server(testbed, **cfg):
+    server = ThttpdServer(testbed.server_kernel,
+                          config=ServerConfig(**cfg) if cfg else None)
+    server.start()
+    testbed.sim.run(until=testbed.sim.now + 0.05)
+    return server
+
+
+def test_serves_single_document(testbed):
+    server = make_server(testbed)
+    results = fetch_documents(testbed, 1)
+    run_until_quiet(testbed, horizon=5, condition=lambda: 0 in results)
+    assert results[0] == (200, DEFAULT_DOCUMENT_BYTES)
+    assert server.stats.requests == 1
+    assert server.stats.responses == 1
+    assert server.stats.accepts == 1
+    assert server.stats.bytes_sent > DEFAULT_DOCUMENT_BYTES
+
+
+def test_serves_many_documents(testbed):
+    server = make_server(testbed)
+    results = fetch_documents(testbed, 20, spacing=0.01)
+    run_until_quiet(testbed, horizon=10, condition=lambda: len(results) == 20)
+    assert all(results[i] == (200, DEFAULT_DOCUMENT_BYTES) for i in range(20))
+    assert server.stats.responses == 20
+    # HTTP/1.0: every connection closed by the server after the response
+    assert len(server.conns) == 0
+
+
+def test_unknown_path_gets_404(testbed):
+    make_server(testbed)
+    results = fetch_documents(testbed, 1, path="/nope.html")
+    run_until_quiet(testbed, horizon=5, condition=lambda: 0 in results)
+    assert results[0][0] == 404
+
+
+def test_partial_request_held_until_idle_timeout(testbed):
+    """An inactive connection occupies the server until the sweep."""
+    server = make_server(testbed, idle_timeout=2.0, timer_interval=0.5)
+    results = fetch_documents(testbed, 1, partial=True)
+    run_until_quiet(testbed, horizon=1.5,
+                    condition=lambda: server.stats.accepts == 1)
+    assert len(server.conns) == 1
+    assert server.stats.requests == 0
+    run_until_quiet(testbed, horizon=6,
+                    condition=lambda: len(server.conns) == 0)
+    assert server.stats.idle_closes == 1
+
+
+def test_pollfd_array_rebuilt_every_loop(testbed):
+    """The legacy behaviour the paper calls out: cost accrues in the
+    app.build category on every single loop iteration."""
+    server = make_server(testbed)
+    fetch_documents(testbed, 5, spacing=0.2)
+    run_until_quiet(testbed, horizon=3,
+                    condition=lambda: server.stats.responses == 5)
+    build_time = testbed.server_kernel.cpu.busy_by_category.get("app.build", 0)
+    assert build_time > 0
+    assert server.stats.loops > 5
+
+
+def test_deferred_write_is_two_loop_cycles(testbed):
+    """thttpd builds the response on the read event and sends it on the
+    next writable cycle -- the figure 14 latency term."""
+    server = make_server(testbed)
+    results = fetch_documents(testbed, 1)
+    run_until_quiet(testbed, horizon=5, condition=lambda: 0 in results)
+    assert server.immediate_write is False
+    assert results[0][0] == 200
+
+
+def test_stop_exits_loop(testbed):
+    server = make_server(testbed)
+    results = fetch_documents(testbed, 1)
+    run_until_quiet(testbed, horizon=5, condition=lambda: 0 in results)
+    server.stop()
+    # after stop, the loop unwinds at its next poll timeout
+    run_until_quiet(testbed, horizon=testbed.sim.now + 5,
+                    condition=lambda: server._process.done.triggered)
+    assert server._process.done.triggered

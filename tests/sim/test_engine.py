@@ -1,0 +1,207 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    timer.cancel()
+    sim.run()
+    assert fired == [2]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    sim.run()
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_beyond_last_event_advances_clock():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=9.0)
+    assert sim.now == 9.0
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_call_soon_runs_after_current_callback():
+    sim = Simulator()
+    order = []
+
+    def first():
+        sim.call_soon(order.append, "soon")
+        order.append("first")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "soon"]
+    assert sim.now == 1.0
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    seen = []
+
+    def recurse(depth):
+        seen.append(depth)
+        if depth < 5:
+            sim.schedule(1.0, recurse, depth + 1)
+
+    sim.schedule(0.0, recurse, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    t1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    t1.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty():
+    assert Simulator().peek() is None
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+# ---------------------------------------------------------------------------
+# Event
+# ---------------------------------------------------------------------------
+
+def test_event_trigger_delivers_value_to_callback():
+    sim = Simulator()
+    got = []
+    ev = sim.event("e")
+    ev.add_callback(lambda e: got.append(e.value))
+    ev.trigger(42)
+    sim.run()
+    assert got == [42]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger()
+    with pytest.raises(SimulationError):
+        ev.trigger()
+
+
+def test_callback_added_after_trigger_still_fires():
+    sim = Simulator()
+    got = []
+    ev = sim.event()
+    ev.trigger("late")
+    ev.add_callback(lambda e: got.append(e.value))
+    sim.run()
+    assert got == ["late"]
+
+
+def test_remove_callback():
+    sim = Simulator()
+    got = []
+    ev = sim.event()
+    cb = lambda e: got.append(1)  # noqa: E731
+    ev.add_callback(cb)
+    ev.remove_callback(cb)
+    ev.trigger()
+    sim.run()
+    assert got == []
+
+
+def test_remove_absent_callback_is_noop():
+    sim = Simulator()
+    ev = sim.event()
+    ev.remove_callback(lambda e: None)
+
+
+def test_timeout_event_triggers_at_right_time():
+    sim = Simulator()
+    ev = sim.timeout(2.5, value="done")
+    times = []
+    ev.add_callback(lambda e: times.append((sim.now, e.value)))
+    sim.run()
+    assert times == [(2.5, "done")]
+
+
+def test_callbacks_never_reenter_trigger_context():
+    """A callback registered on an already-triggered event runs via the
+    calendar, not synchronously inside add_callback."""
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger()
+    ran = []
+    ev.add_callback(lambda e: ran.append(True))
+    assert ran == []  # not yet -- run-to-completion semantics
+    sim.run()
+    assert ran == [True]

@@ -1,0 +1,182 @@
+"""Unit tests for the CPU resource and channels."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import spawn
+from repro.sim.resources import CPU, Channel, PRIO_SOFTIRQ, PRIO_USER
+
+
+def test_cpu_serializes_grants():
+    sim = Simulator()
+    cpu = CPU(sim)
+    done = []
+    cpu.consume(1.0).add_callback(lambda e: done.append(("a", sim.now)))
+    cpu.consume(2.0).add_callback(lambda e: done.append(("b", sim.now)))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 3.0)]
+
+
+def test_cpu_fifo_within_priority():
+    sim = Simulator()
+    cpu = CPU(sim)
+    order = []
+    for tag in "abc":
+        cpu.consume(1.0).add_callback(
+            lambda e, t=tag: order.append(t))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_softirq_preempts_queued_user_work():
+    """Interrupt work queued while the CPU is busy runs before queued
+    user work (non-preemptive grant, priority dispatch)."""
+    sim = Simulator()
+    cpu = CPU(sim)
+    order = []
+    cpu.consume(1.0, PRIO_USER).add_callback(lambda e: order.append("u1"))
+    cpu.consume(1.0, PRIO_USER).add_callback(lambda e: order.append("u2"))
+    # softirq arrives at t=0.5, while u1 runs
+    sim.schedule(0.5, lambda: cpu.consume(0.25, PRIO_SOFTIRQ).add_callback(
+        lambda e: order.append("irq")))
+    sim.run()
+    assert order == ["u1", "irq", "u2"]
+
+
+def test_cpu_speed_scales_duration():
+    sim = Simulator()
+    cpu = CPU(sim, speed=2.0)
+    done = []
+    cpu.consume(1.0).add_callback(lambda e: done.append(sim.now))
+    sim.run()
+    assert done == [0.5]
+    assert cpu.busy_time == pytest.approx(0.5)
+
+
+def test_cpu_busy_accounting_by_category():
+    sim = Simulator()
+    cpu = CPU(sim)
+    cpu.consume(1.0, category="net")
+    cpu.consume(2.0, category="http")
+    cpu.consume(0.5, category="net")
+    sim.run()
+    assert cpu.busy_by_category["net"] == pytest.approx(1.5)
+    assert cpu.busy_by_category["http"] == pytest.approx(2.0)
+    assert cpu.busy_time == pytest.approx(3.5)
+
+
+def test_cpu_utilization():
+    sim = Simulator()
+    cpu = CPU(sim)
+    cpu.consume(1.0)
+    sim.schedule(4.0, lambda: None)
+    sim.run()
+    assert cpu.utilization() == pytest.approx(0.25)
+
+
+def test_cpu_zero_charge_completes():
+    sim = Simulator()
+    cpu = CPU(sim)
+    done = []
+    cpu.consume(0.0).add_callback(lambda e: done.append(sim.now))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_cpu_rejects_negative_and_bad_priority():
+    sim = Simulator()
+    cpu = CPU(sim)
+    with pytest.raises(SimulationError):
+        cpu.consume(-1.0)
+    with pytest.raises(SimulationError):
+        cpu.consume(1.0, priority=99)
+    with pytest.raises(SimulationError):
+        CPU(sim, speed=0)
+
+
+def test_cpu_run_generator_sugar():
+    sim = Simulator()
+    cpu = CPU(sim)
+    out = []
+
+    def body():
+        yield from cpu.run(2.0)
+        out.append(sim.now)
+
+    spawn(sim, body())
+    sim.run()
+    assert out == [2.0]
+
+
+def test_cpu_queued_count():
+    sim = Simulator()
+    cpu = CPU(sim)
+    cpu.consume(1.0)
+    cpu.consume(1.0)
+    cpu.consume(1.0)
+    assert cpu.queued == 2  # one executing, two waiting
+
+
+# ---------------------------------------------------------------------------
+# Channel
+# ---------------------------------------------------------------------------
+
+def test_channel_put_then_get():
+    sim = Simulator()
+    chan = Channel(sim)
+    chan.put("x")
+    got = []
+
+    def body():
+        got.append((yield chan.get()))
+
+    spawn(sim, body())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_channel_get_blocks_until_put():
+    sim = Simulator()
+    chan = Channel(sim)
+    got = []
+
+    def body():
+        got.append(((yield chan.get()), sim.now))
+
+    spawn(sim, body())
+    sim.schedule(3.0, chan.put, "late")
+    sim.run()
+    assert got == [("late", 3.0)]
+
+
+def test_channel_fifo_order_and_len():
+    sim = Simulator()
+    chan = Channel(sim)
+    chan.put(1)
+    chan.put(2)
+    assert len(chan) == 2
+    got = []
+
+    def body():
+        got.append((yield chan.get()))
+        got.append((yield chan.get()))
+
+    spawn(sim, body())
+    sim.run()
+    assert got == [1, 2]
+
+
+def test_channel_multiple_getters_fifo():
+    sim = Simulator()
+    chan = Channel(sim)
+    got = []
+
+    def getter(tag):
+        got.append((tag, (yield chan.get())))
+
+    spawn(sim, getter("a"))
+    spawn(sim, getter("b"))
+    sim.schedule(1.0, chan.put, 1)
+    sim.schedule(2.0, chan.put, 2)
+    sim.run()
+    assert got == [("a", 1), ("b", 2)]

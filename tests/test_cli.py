@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line front door."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Provos & Lever" in out
+    assert "thttpd-devpoll" in out
+    assert "fig14" in out
+
+
+def test_default_command_is_info(capsys):
+    assert main([]) == 0
+    assert "repro" in capsys.readouterr().out
+
+
+def test_point(capsys):
+    assert main(["point", "thttpd-devpoll", "200", "10",
+                 "--duration", "1.5"]) == 0
+    out = capsys.readouterr().out
+    assert "replies/s avg" in out
+    assert "errors 0.00%" in out
+
+
+def test_figures_unknown_id(capsys):
+    assert main(["figures", "fig99"]) == 1
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_figures_single(capsys):
+    assert main(["figures", "fig05", "--rates", "150",
+                 "--duration", "1.5"]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out
+    assert "req rate" in out

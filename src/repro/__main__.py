@@ -4,6 +4,8 @@ Subcommands:
 
 * ``info``                      -- package + reproduction summary
 * ``point SERVER RATE LOAD``    -- run one benchmark point
+* ``profile SERVER RATE LOAD`` -- run one point and print where the
+                                   server CPU went
 * ``figures [ids...]``          -- regenerate paper figures (like
                                    examples/paper_figures.py)
 """
@@ -11,7 +13,31 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+
+def _write_json(path: str, payload) -> bool:
+    """Write a report file; one-line error instead of a traceback."""
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        return True
+    except OSError as err:
+        print(f"repro: cannot write {path}: {err.strerror}", file=sys.stderr)
+        return False
+
+
+def _check_server(kind: str) -> bool:
+    """Validate a server name; print a one-line error if unknown."""
+    from repro.bench.harness import SERVER_KINDS
+
+    if kind in SERVER_KINDS:
+        return True
+    print(f"repro: unknown server {kind!r}; choose from "
+          f"{', '.join(sorted(SERVER_KINDS))}", file=sys.stderr)
+    return False
 
 
 def cmd_info(_args) -> int:
@@ -24,7 +50,10 @@ def cmd_info(_args) -> int:
           f"'Scalable Network I/O in Linux' (Provos & Lever, 2000)")
     print(f"servers : {', '.join(sorted(SERVER_KINDS))}")
     print(f"figures : {', '.join(sorted(ALL_FIGURES))}")
-    print("docs    : README.md, DESIGN.md, EXPERIMENTS.md")
+    print("profile : `repro profile SERVER RATE LOAD` attributes server "
+          "CPU to (subsystem, operation)")
+    print("docs    : README.md, DESIGN.md, EXPERIMENTS.md, "
+          "docs/observability.md")
     return 0
 
 
@@ -32,9 +61,12 @@ def cmd_point(args) -> int:
     """Run one benchmark point and print its headline numbers."""
     from repro.bench import BenchmarkPoint, run_point
 
+    if not _check_server(args.server):
+        return 2
     result = run_point(BenchmarkPoint(
         server=args.server, rate=args.rate, inactive=args.inactive,
-        duration=args.duration, seed=args.seed))
+        duration=args.duration, seed=args.seed,
+        trace=args.trace is not None, profile=args.profile_out is not None))
     rr = result.reply_rate
     print(f"{args.server} @ {args.rate:.0f}/s, {args.inactive} inactive, "
           f"{args.duration:.0f}s:")
@@ -43,22 +75,91 @@ def cmd_point(args) -> int:
     print(f"  errors {result.error_percent:.2f}%   "
           f"median {result.median_conn_ms:.2f} ms   "
           f"cpu {100 * result.cpu_utilization:.0f}%")
+    status = 0
+    if args.trace is not None:
+        try:
+            result.testbed.tracer.export_jsonl(args.trace)
+            print(f"  trace -> {args.trace} "
+                  f"({len(result.testbed.tracer.records())} records)")
+        except OSError as err:
+            print(f"repro: cannot write {args.trace}: {err.strerror}",
+                  file=sys.stderr)
+            status = 1
+    if args.profile_out is not None:
+        report = result.profiler.report()
+        if _write_json(args.profile_out, report.as_dict()):
+            print(f"  profile -> {args.profile_out} "
+                  f"({len(report.rows)} rows)")
+        else:
+            status = 1
+    return status
+
+
+def cmd_profile(args) -> int:
+    """Run one point with the CPU profiler on and print the attribution."""
+    from repro.bench import BenchmarkPoint, run_point
+    from repro.bench.reporting import attribution_table
+
+    if not _check_server(args.server):
+        return 2
+    server_opts = {}
+    if args.no_hints:
+        if args.server != "thttpd-devpoll":
+            print("repro: --no-hints only applies to thttpd-devpoll",
+                  file=sys.stderr)
+            return 2
+        from repro.core.devpoll import DevPollConfig
+
+        server_opts["devpoll"] = DevPollConfig(use_hints=False)
+    result = run_point(BenchmarkPoint(
+        server=args.server, rate=args.rate, inactive=args.inactive,
+        duration=args.duration, seed=args.seed, profile=True,
+        server_opts=server_opts))
+    report = result.profiler.report()
+    rr = result.reply_rate
+    title = (f"{args.server} @ {args.rate:.0f}/s, {args.inactive} inactive"
+             f"{', hints off' if args.no_hints else ''}: "
+             f"{rr.avg:.1f} replies/s, cpu "
+             f"{100 * result.cpu_utilization:.0f}%")
+    print(attribution_table(report, top=args.top, title=title))
+    if args.json is not None:
+        if not _write_json(args.json, report.as_dict()):
+            return 1
+        print(f"profile -> {args.json}")
     return 0
 
 
 def cmd_figures(args) -> int:
     """Regenerate the requested figures at CLI-chosen scale."""
     from repro.bench.figures import ALL_FIGURES
+    from repro.bench.harness import BenchmarkPoint
 
     wanted = args.ids or sorted(ALL_FIGURES)
+    base_point = None
+    if args.trace or args.profile_out is not None:
+        base_point = BenchmarkPoint(trace=args.trace,
+                                    profile=args.profile_out is not None)
+    profiles = {}
     for fig_id in wanted:
         if fig_id not in ALL_FIGURES:
             print(f"unknown figure {fig_id!r}", file=sys.stderr)
             return 1
         figure = ALL_FIGURES[fig_id](rates=tuple(args.rates),
-                                     duration=args.duration, seed=args.seed)
+                                     duration=args.duration, seed=args.seed,
+                                     base_point=base_point)
         print(figure.render())
         print()
+        if args.profile_out is not None:
+            for name, sweep in figure.sweeps.items():
+                for p in sweep.points:
+                    if p.profiler is None:
+                        continue
+                    key = f"{fig_id}/{name}/{p.point.rate:.0f}"
+                    profiles[key] = p.profiler.report().as_dict()
+    if args.profile_out is not None:
+        if not _write_json(args.profile_out, profiles):
+            return 1
+        print(f"profiles -> {args.profile_out} ({len(profiles)} runs)")
     return 0
 
 
@@ -75,6 +176,24 @@ def main(argv=None) -> int:
     p_point.add_argument("inactive", type=int)
     p_point.add_argument("--duration", type=float, default=5.0)
     p_point.add_argument("--seed", type=int, default=0)
+    p_point.add_argument("--trace", metavar="FILE",
+                         help="export the run's span trace as JSONL")
+    p_point.add_argument("--profile-out", metavar="FILE",
+                         help="export server-CPU attribution as JSON")
+
+    p_prof = sub.add_parser(
+        "profile", help="run one point, print server-CPU attribution")
+    p_prof.add_argument("server")
+    p_prof.add_argument("rate", type=float)
+    p_prof.add_argument("inactive", type=int)
+    p_prof.add_argument("--duration", type=float, default=5.0)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--top", type=int, default=0,
+                        help="show only the top N rows (0 = all)")
+    p_prof.add_argument("--no-hints", action="store_true",
+                        help="disable /dev/poll hints (thttpd-devpoll only)")
+    p_prof.add_argument("--json", metavar="FILE",
+                        help="also write the report as JSON")
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("ids", nargs="*")
@@ -82,10 +201,16 @@ def main(argv=None) -> int:
                        default=[500, 800, 1100])
     p_fig.add_argument("--duration", type=float, default=5.0)
     p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--trace", action="store_true",
+                       help="run every point with span tracing on")
+    p_fig.add_argument("--profile-out", metavar="FILE",
+                       help="profile every point; write all reports as JSON")
 
     args = parser.parse_args(argv)
     if args.command == "point":
         return cmd_point(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "figures":
         return cmd_figures(args)
     return cmd_info(args)

@@ -67,6 +67,10 @@ class BenchmarkPoint:
     #: grace period after the last connection launches, letting stragglers
     #: finish or time out before results are read
     drain: float = 0.0
+    #: record spans and trace lines on the testbed's tracer
+    trace: bool = False
+    #: attribute server-CPU time to (subsystem, operation) pairs
+    profile: bool = False
 
 
 @dataclass
@@ -85,6 +89,8 @@ class PointResult:
     inactive_reconnects: int
     time_wait_server: int
     time_wait_client: int
+    #: server-CPU attribution, when the point ran with profile=True
+    profiler: Optional[Any] = None
 
     def row(self) -> Dict[str, float]:
         """The numbers a figure plots for this x-position."""
@@ -124,7 +130,7 @@ def make_server(kind: str, kernel, site: Optional[StaticSite] = None,
 def run_point(point: BenchmarkPoint) -> PointResult:
     """Execute one benchmark point from a cold testbed."""
     tb_config = point.testbed if point.testbed is not None else TestbedConfig(
-        seed=point.seed)
+        seed=point.seed, trace=point.trace, profile=point.profile)
     testbed = Testbed(tb_config)
     doc_paths = None
     if point.document_sizes:
@@ -140,6 +146,8 @@ def run_point(point: BenchmarkPoint) -> PointResult:
     testbed.run(until=testbed.sim.now + 0.1)  # let the listener come up
 
     # ramp up the inactive load and wait for it to be fully established
+    ramp_span = testbed.tracer.begin(testbed.sim.now, "bench", "ramp",
+                                     inactive=point.inactive)
     pool = InactiveConnectionPool(
         testbed, InactivePoolConfig(count=point.inactive))
     pool.start()
@@ -147,8 +155,13 @@ def run_point(point: BenchmarkPoint) -> PointResult:
     while (not pool.all_connected.triggered
            and testbed.sim.now < ramp_deadline):
         testbed.run(until=testbed.sim.now + 0.25)
+    testbed.tracer.end(testbed.sim.now, ramp_span,
+                       connected=pool.all_connected.triggered)
 
     measure_start = testbed.sim.now
+    measure_span = testbed.tracer.begin(
+        testbed.sim.now, "bench", "measure",
+        server=point.server, rate=point.rate)
     busy_before = testbed.server_kernel.cpu.busy_time
     client = HttperfClient(testbed, HttperfConfig(
         rate=point.rate,
@@ -165,6 +178,8 @@ def run_point(point: BenchmarkPoint) -> PointResult:
                + point.drain + 30.0)
     while not client.done.triggered and testbed.sim.now < horizon:
         testbed.run(until=testbed.sim.now + 0.5)
+    testbed.tracer.end(testbed.sim.now, measure_span,
+                       done=client.done.triggered)
     pool.stop()
     server.stop()
 
@@ -187,4 +202,5 @@ def run_point(point: BenchmarkPoint) -> PointResult:
         inactive_reconnects=pool.reconnects,
         time_wait_server=testbed.server_stack.time_wait_count,
         time_wait_client=testbed.client_stack.time_wait_count,
+        profiler=testbed.profiler,
     )

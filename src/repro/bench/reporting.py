@@ -95,6 +95,16 @@ def reply_rate_table(rates: List[float], avg: List[float], mins: List[float],
         ["req rate", "avg reply", "min", "max", "stddev"], rows, title)
 
 
+def attribution_table(report, top: int = 0, title: str = "") -> str:
+    """Where the server CPU went: one row per (subsystem, operation).
+
+    ``report`` is an :class:`repro.obs.profiler.ProfileReport` (from a
+    ``run_point(...)`` with ``profile=True`` or the ``repro profile``
+    command); rows sum to the run's total charged CPU time.
+    """
+    return report.render(top=top, title=title or "server CPU attribution")
+
+
 def ascii_histogram(values: Sequence[float], bins: int = 12,
                     width: int = 40, title: str = "",
                     unit: str = "") -> str:

@@ -16,6 +16,7 @@ from ..kernel.costs import CLIENT_CPU_SPEED, DEFAULT_COSTS, SERVER_CPU_SPEED, Co
 from ..kernel.kernel import Kernel
 from ..net.link import ETHERNET_100MBIT, LAN_LATENCY, Network
 from ..net.stack import NetStack
+from ..obs.profiler import CpuProfiler
 from ..sim.engine import Simulator
 from ..sim.rng import RngStreams
 from ..sim.tracing import Tracer
@@ -38,6 +39,10 @@ class TestbedConfig:
     latency: float = LAN_LATENCY
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
     trace: bool = False
+    #: attribute every charged server-CPU microsecond to a
+    #: (subsystem, operation) pair -- the server host only, since its CPU
+    #: is what the paper measures
+    profile: bool = False
 
 
 class Testbed:
@@ -51,10 +56,11 @@ class Testbed:
         self.sim = Simulator()
         self.rng = RngStreams(cfg.seed)
         self.tracer = Tracer(enabled=cfg.trace)
+        self.profiler = CpuProfiler() if cfg.profile else None
         self.network = Network(self.sim, cfg.bandwidth_bps, cfg.latency)
         self.server_kernel = Kernel(
             self.sim, SERVER_HOST, cpu_speed=cfg.server_cpu_speed,
-            costs=cfg.costs, tracer=self.tracer)
+            costs=cfg.costs, tracer=self.tracer, profiler=self.profiler)
         self.client_kernel = Kernel(
             self.sim, CLIENT_HOST, cpu_speed=cfg.client_cpu_speed,
             costs=cfg.costs, tracer=self.tracer)

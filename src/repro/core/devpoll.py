@@ -120,6 +120,9 @@ class DevPollFile(File):
         self._nohint: List[Interest] = []
         self.result_area: Optional[ResultArea] = None
         self.mapped = False
+        self._batch_hist = kernel.metrics.histogram(
+            "devpoll.ready_batch", buckets=(1, 2, 4, 8, 16, 32, 64, 128,
+                                            256, 512, 1024))
 
     # ------------------------------------------------------------------
     # interest-set maintenance (write())
@@ -193,15 +196,19 @@ class DevPollFile(File):
                 entry.events | POLL_ALWAYS)
         return entry.cached_revents
 
-    def _scan(self) -> Tuple[List[Interest], float]:
+    def _scan(self) -> Tuple[List[Interest], Tuple[Tuple[str, float], ...]]:
         """One DP_POLL scan pass.
 
-        Returns (ready entries, CPU seconds to charge).  With hints on,
-        only cached-ready, hinted, and non-hinting-driver entries invoke
-        the driver callback; otherwise every interest does.
+        Returns (ready entries, itemized CPU charges) where the charges
+        are (operation, seconds) parts -- fixed ``poll_base`` work plus
+        the per-fd ``driver_callback`` invocations -- that the caller
+        lumps into one "devpoll.scan" CPU grant but an attached profiler
+        sees itemized.  With hints on, only cached-ready, hinted, and
+        non-hinting-driver entries invoke the driver callback; otherwise
+        every interest does.
         """
         costs = self.kernel.costs
-        charge = costs.devpoll_poll_base
+        callback_charge = 0.0
         ready: List[Interest] = []
 
         if self.config.use_hints:
@@ -212,7 +219,7 @@ class DevPollFile(File):
             for entry in recheck:
                 self._evaluate(entry)
                 self.stats.driver_callbacks_ready_recheck += 1
-            charge += costs.devpoll_cached_ready_recheck * len(recheck)
+            callback_charge += costs.devpoll_cached_ready_recheck * len(recheck)
             evaluated.extend(recheck)
             # 2. consume hints
             hinted, self._hinted = self._hinted, []
@@ -221,7 +228,7 @@ class DevPollFile(File):
                 entry.hinted = False
                 self._evaluate(entry)
                 self.stats.driver_callbacks_hinted += 1
-            charge += costs.devpoll_hint_scan * len(live_hinted)
+            callback_charge += costs.devpoll_hint_scan * len(live_hinted)
             evaluated.extend(live_hinted)
             # 3. drivers without hint support are always scanned
             self._nohint = [e for e in self._nohint if e.active]
@@ -230,7 +237,7 @@ class DevPollFile(File):
             for entry in nohint:
                 self._evaluate(entry)
                 self.stats.driver_callbacks_full += 1
-            charge += costs.devpoll_full_scan_per_fd * len(nohint)
+            callback_charge += costs.devpoll_full_scan_per_fd * len(nohint)
             evaluated.extend(nohint)
             # Entries not evaluated this pass were neither cached-ready,
             # hinted, nor hint-less, so their cached not-ready result
@@ -244,14 +251,15 @@ class DevPollFile(File):
                 if entry.cached_revents:
                     ready.append(entry)
             self._hinted = []
-            charge += costs.devpoll_full_scan_per_fd * len(self.interests)
+            callback_charge += costs.devpoll_full_scan_per_fd * len(self.interests)
 
         for entry in self._ready_cache:
             entry.in_ready_cache = False
         self._ready_cache = ready
         for entry in ready:
             entry.in_ready_cache = True
-        return ready, charge
+        return ready, (("poll_base", costs.devpoll_poll_base),
+                       ("driver_callback", callback_charge))
 
     # ------------------------------------------------------------------
     # ioctl()
@@ -296,12 +304,19 @@ class DevPollFile(File):
         deadline = (None if dvp.dp_timeout is None
                     else sim.now + dvp.dp_timeout)
         self.stats.polls += 1
+        tracer = self.kernel.tracer
+        span = (tracer.begin(sim.now, "devpoll", "dp_poll",
+                             interests=len(self.interests))
+                if tracer.enabled else None)
         while True:
-            ready, charge = self._scan()
-            yield self.kernel.cpu.consume(charge, PRIO_USER, "devpoll.scan")
+            ready, charges = self._scan()
+            yield self.kernel.cpu.consume(
+                sum(seconds for _op, seconds in charges), PRIO_USER,
+                "devpoll.scan", breakdown=charges)
             if ready or dvp.dp_timeout == 0:
                 ready = ready[:max_results]
                 self.stats.results_returned += len(ready)
+                self._batch_hist.observe(len(ready))
                 if use_area:
                     area = self.result_area
                     for i, entry in enumerate(ready):
@@ -311,13 +326,16 @@ class DevPollFile(File):
                         slot.revents = entry.cached_revents
                     area.count = len(ready)
                     self.stats.results_via_mmap += len(ready)
+                    tracer.end(sim.now, span, ready=len(ready), via="mmap")
                     return area.results()
                 yield from self._charge_copyout(len(ready))
+                tracer.end(sim.now, span, ready=len(ready), via="copyout")
                 return [PollFd(e.fd, e.events, e.cached_revents) for e in ready]
             remaining: Optional[float] = None
             if deadline is not None:
                 remaining = deadline - sim.now
                 if remaining <= 0:
+                    tracer.end(sim.now, span, ready=0, via="timeout")
                     return []
             wake = self.wait_queue.wait_event()
             yield from wait_with_timeout(sim, wake, remaining)

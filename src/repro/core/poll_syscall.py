@@ -35,9 +35,12 @@ def sys_poll(task: Task, interests: Sequence[Tuple[int, int]],
     sim = kernel.sim
     n = len(interests)
 
-    def charge(seconds: float, category: str):
+    def charge(seconds: float, category: str,
+               operation: Optional[str] = None):
         if seconds > 0:
-            yield kernel.cpu.consume(seconds, PRIO_USER, category)
+            breakdown = ((operation, seconds),) if operation else None
+            yield kernel.cpu.consume(seconds, PRIO_USER, category,
+                                     breakdown=breakdown)
 
     # 1. copy in and parse the whole interest set
     yield from charge(costs.poll_copyin_per_fd * n, "poll.copyin")
@@ -59,8 +62,11 @@ def sys_poll(task: Task, interests: Sequence[Tuple[int, int]],
 
     while True:
         # 2. full scan, one driver callback per descriptor
-        yield from charge(costs.poll_driver_callback * n, "poll.scan")
+        yield from charge(costs.poll_driver_callback * n, "poll.scan",
+                          "driver_callback")
         ready = scan()
+        if kernel.tracer.enabled:
+            kernel.trace("poll", f"scan n={n} ready={len(ready)}")
         if ready or timeout == 0:
             # 4. copy out the results
             yield from charge(

@@ -94,6 +94,8 @@ def arm_rtsig(sys, fd: int, signo: int, nonblocking: bool = True):
     if nonblocking:
         flags |= O_NONBLOCK
     yield from sys.fcntl(fd, F_SETFL, flags)
+    if sys.kernel.tracer.enabled:
+        sys.kernel.trace("rtsig", f"armed fd={fd} signo={signo}")
 
 
 def disarm_rtsig(sys, fd: int):
@@ -101,3 +103,5 @@ def disarm_rtsig(sys, fd: int):
     flags = yield from sys.fcntl(fd, F_GETFL)
     yield from sys.fcntl(fd, F_SETFL, flags & ~O_ASYNC)
     yield from sys.fcntl(fd, F_SETSIG, 0)
+    if sys.kernel.tracer.enabled:
+        sys.kernel.trace("rtsig", f"disarmed fd={fd}")

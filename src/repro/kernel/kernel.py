@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.profiler import CpuProfiler
+from ..obs.spans import NULL_TRACER, Span, Tracer
 from ..sim.engine import Simulator
 from ..sim.resources import CPU, PRIO_SOFTIRQ
-from ..sim.stats import Counter
-from ..sim.tracing import NULL_TRACER, Tracer
 from .costs import DEFAULT_COSTS, CostModel
 from .signals import SignalSubsystem
 from .task import Task
@@ -30,14 +31,22 @@ class Kernel:
         cpu_speed: float = 1.0,
         costs: CostModel = DEFAULT_COSTS,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[CpuProfiler] = None,
     ):
         self.sim = sim
         self.name = name
         self.cpu = CPU(sim, name=f"{name}.cpu", speed=cpu_speed)
         self.costs = costs
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: one registry per host; every kernel/net/server tally lives here
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.counters = self.metrics.tally()
+        #: simulated-CPU profiler (repro.obs.profiler); None = off
+        self.profiler = profiler
+        if profiler is not None:
+            self.cpu.profiler = profiler
         self.signals = SignalSubsystem(self)
-        self.counters = Counter()
         self._pid = 0
         #: attached by repro.net.stack.NetStack.__init__
         self.net: Optional["NetStack"] = None
@@ -69,6 +78,14 @@ class Kernel:
 
     def trace(self, subsystem: str, message: str) -> None:
         self.tracer.trace(self.sim.now, subsystem, message)
+
+    def span(self, subsystem: str, name: str, **attrs) -> Optional[Span]:
+        """Open a tracing span at the current simulated time."""
+        return self.tracer.begin(self.sim.now, subsystem, name, **attrs)
+
+    def span_end(self, span: Optional[Span], **attrs) -> None:
+        """Close a span opened with :meth:`span` (no-op when disabled)."""
+        self.tracer.end(self.sim.now, span, **attrs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Kernel {self.name!r}>"

@@ -197,11 +197,16 @@ class SignalSubsystem:
             si_band=band,
             si_fd=file.async_fd,
         )
-        self.kernel.charge_softirq(costs.rtsig_enqueue, "rtsig")
+        self.kernel.charge_softirq(costs.rtsig_enqueue, "rtsig.enqueue")
         if not task.signal_queue.post(info):
             # RT queue overflow: raise SIGIO instead (section 2).
             task.signal_queue.stats.overflows += 1
-            self.kernel.charge_softirq(costs.sigio_overflow_post, "rtsig")
+            if self.kernel.tracer.enabled:
+                self.kernel.trace(
+                    "rtsig", f"queue overflow on {task.name}: fd "
+                    f"{file.async_fd} event dropped, SIGIO raised")
+            self.kernel.charge_softirq(
+                costs.sigio_overflow_post, "rtsig.overflow")
             task.signal_queue.post(
                 Siginfo(si_signo=SIGIO, si_code=SI_SIGIO, si_band=band,
                         si_fd=file.async_fd)

@@ -52,6 +52,8 @@ class SyscallInterface:
         self.kernel = task.kernel
         self.costs = task.kernel.costs
         self.sim = task.kernel.sim
+        self._dequeue_hist = self.kernel.metrics.histogram(
+            "rtsig.dequeue_batch", buckets=(1, 2, 4, 8, 16, 32, 64))
 
     # ------------------------------------------------------------------
     # plumbing
@@ -240,7 +242,8 @@ class SyscallInterface:
             if queue.has_pending(sigset):
                 infos: List[Siginfo] = queue.dequeue_many(sigset, max_signals)
                 yield from self._charge(
-                    self.costs.rtsig_dequeue * len(infos), "rtsig")
+                    self.costs.rtsig_dequeue * len(infos), "rtsig.dequeue")
+                self._dequeue_hist.observe(len(infos))
                 return infos
             if timeout == 0:
                 return []

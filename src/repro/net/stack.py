@@ -14,7 +14,6 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from ..kernel.constants import EADDRINUSE, SyscallError
-from ..sim.stats import Counter
 from .link import Network
 from .tcp import TIME_WAIT_SECONDS, Listener, TcpEndpoint
 
@@ -34,12 +33,14 @@ class NetStack:
         self.network = network
         self.host_name = host_name if host_name is not None else kernel.name
         self.time_wait_seconds = time_wait_seconds
-        self.counters = Counter()
+        #: tallies live in the owning kernel's metrics registry, so one
+        #: snapshot shows syscall counts and TCP counters side by side
+        self.counters = kernel.metrics.tally()
+        self._open_gauge = kernel.metrics.gauge("tcp.open_connections")
         self._listeners: Dict[int, Listener] = {}
         self._free_ports: Deque[int] = deque(range(EPHEMERAL_LOW, EPHEMERAL_HIGH))
         self._ports_in_use = 0
         self.time_wait_count = 0
-        self.open_connections = 0
         kernel.net = self
         network.attach(self)
 
@@ -90,11 +91,15 @@ class NetStack:
     # ------------------------------------------------------------------
     # connection lifecycle accounting
     # ------------------------------------------------------------------
+    @property
+    def open_connections(self) -> int:
+        return int(self._open_gauge.value)
+
     def connection_opened(self) -> None:
-        self.open_connections += 1
+        self._open_gauge.inc()
 
     def connection_closed(self, endpoint: TcpEndpoint, time_wait: bool) -> None:
-        self.open_connections = max(0, self.open_connections - 1)
+        self._open_gauge.set(max(0, self._open_gauge.value - 1))
         if time_wait:
             self.time_wait_count += 1
             self.counters.inc("tcp.time_wait_entered")

@@ -1,0 +1,42 @@
+"""Observability layer: span tracing, metrics, and the simulated-CPU profiler.
+
+The paper's argument is entirely about *where CPU time goes* -- copies,
+driver ``poll`` callbacks, wait-queue churn, per-event syscall overhead --
+so the reproduction carries a first-class observability stack that any
+benchmark or test can turn on to see inside the simulator:
+
+* :mod:`repro.obs.spans` -- nested begin/end spans and point events in a
+  bounded ring buffer that counts (rather than hides) drops, with JSONL
+  export.  ``repro.sim.tracing`` re-exports this for backward
+  compatibility.
+* :mod:`repro.obs.metrics` -- a registry of named counters, gauges, and
+  fixed-bucket histograms.  The kernel's and network stack's tallies all
+  live in one per-host registry.
+* :mod:`repro.obs.profiler` -- attributes every charged simulated-CPU
+  microsecond to a (subsystem, operation) pair, giving a scalene-style
+  per-layer breakdown (copyin/copyout vs driver callbacks vs wait-queue
+  vs RT-signal queueing vs userspace).
+
+Everything is off by default and costs one attribute check per call site
+when disabled, so benchmark numbers are unaffected.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Tally
+from .profiler import CpuProfiler, ProfileReport, split_category
+from .spans import NULL_TRACER, Span, SpanTracer, TraceRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "CpuProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "ProfileReport",
+    "Span",
+    "SpanTracer",
+    "Tally",
+    "TraceRecord",
+    "Tracer",
+    "split_category",
+]

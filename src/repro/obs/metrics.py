@@ -1,0 +1,227 @@
+"""Metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` lives on each simulated host's kernel and
+collects every tally the kernel, network stack, and servers keep.  The
+old ad-hoc ``repro.sim.stats.Counter`` (a bare labelled dict) is now a
+:class:`Tally` -- a thin dict-like view over registry counters -- so all
+statistics end up in one queryable, renderable place.
+
+Design notes:
+
+* metrics are created on first use (``registry.counter("sys.read")``)
+  and requesting an existing name with a different kind raises;
+* histogram buckets are *fixed at creation* (upper bounds, inclusive:
+  a value lands in the first bucket whose bound is >= the value, or in
+  the overflow bucket past the last bound) -- observation is O(buckets)
+  with no allocation, cheap enough for per-event use;
+* everything is plain Python with no dependencies, and nothing here
+  touches the simulator -- the registry is pure bookkeeping.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: default histogram bounds: exponential microseconds-to-seconds scale,
+#: suitable for both CPU charges and connection times (in seconds)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += by
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A named value that can move both ways (e.g. open connections)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, by: float = 1.0) -> None:
+        self.value += by
+
+    def dec(self, by: float = 1.0) -> None:
+        self.value -= by
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow.
+
+    Bounds are inclusive upper edges: ``observe(v)`` increments the
+    first bucket with ``v <= bound``; values above every bound go to the
+    overflow bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[Optional[float], int]]:
+        """(upper_bound, count) pairs; the overflow bucket's bound is None."""
+        out: List[Tuple[Optional[float], int]] = [
+            (bound, count) for bound, count in zip(self.bounds, self.counts)]
+        out.append((None, self.counts[-1]))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean():.3g}>"
+
+
+class MetricsRegistry:
+    """Create-on-first-use directory of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {metric.kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets), "histogram")
+
+    def tally(self, prefix: str = "") -> "Tally":
+        """A dict-like counter family view bound to this registry."""
+        return Tally(self, prefix)
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data dump of every metric (JSON-serializable)."""
+        out: Dict[str, object] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "mean": metric.mean(),
+                    "buckets": [
+                        {"le": bound, "count": count}
+                        for bound, count in metric.bucket_counts()],
+                }
+            else:
+                out[name] = metric.value
+        return out
+
+    def render(self) -> str:
+        """One metric per line, histograms summarized."""
+        lines = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                lines.append(f"{name}: n={metric.count} "
+                             f"mean={metric.mean():.6g}")
+            else:
+                lines.append(f"{name}: {metric.value}")
+        return "\n".join(lines)
+
+
+class Tally:
+    """Labelled counter family -- the old ``sim.stats.Counter`` API.
+
+    ``inc``/``get`` address counters by key; with a ``prefix`` the keys
+    map to registry names ``prefix.key``.  Constructed bare (``Tally()``)
+    it owns a private registry, which keeps the historic standalone
+    ``Counter()`` usage working.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = ""):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+
+    def _name(self, key: str) -> str:
+        return f"{self.prefix}.{key}" if self.prefix else key
+
+    def inc(self, key: str, by: int = 1) -> None:
+        self.registry.counter(self._name(key)).inc(by)
+
+    def get(self, key: str) -> int:
+        metric = self.registry.get(self._name(key))
+        return metric.value if isinstance(metric, Counter) else 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Snapshot dict of this family's counters (prefix stripped)."""
+        strip = len(self.prefix) + 1 if self.prefix else 0
+        out: Dict[str, int] = {}
+        for name in self.registry.names():
+            metric = self.registry.get(name)
+            if not isinstance(metric, Counter):
+                continue
+            if self.prefix and not name.startswith(self.prefix + "."):
+                continue
+            out[name[strip:]] = metric.value
+        return out
+
+    def keys(self) -> Iterable[str]:
+        return self.counts.keys()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tally prefix={self.prefix!r} {self.counts}>"

@@ -1,0 +1,196 @@
+"""Span tracing: nested begin/end spans and point events.
+
+The successor to the old ``repro.sim.tracing`` flat ring buffer.  A
+:class:`SpanTracer` records two kinds of entries into one bounded ring:
+
+* *point events* -- the classic ``trace(now, subsystem, message)``
+  tuples, unchanged;
+* *spans* -- ``begin(now, subsystem, name, **attrs)`` /
+  ``end(now, span, **attrs)`` pairs carrying a start/end time, a nesting
+  depth, and arbitrary attributes.  A span enters the ring when it ends,
+  so the ring stays time-ordered by completion.
+
+Unlike the old tracer, a full ring does not lose records silently: the
+oldest entry is still evicted (memory stays bounded) but
+:attr:`SpanTracer.dropped` counts every eviction and :meth:`dump`
+reports it.
+
+Tracing is off by default and costs a single attribute check per call
+site, so it stays wired through the kernel and servers without affecting
+benchmark numbers.  ``Tracer`` remains an alias so existing call sites
+and tests keep working.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, NamedTuple, Optional, TextIO, Union
+
+
+class TraceRecord(NamedTuple):
+    """A point event (the legacy record shape)."""
+
+    time: float
+    subsystem: str
+    message: str
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) begin/end interval."""
+
+    subsystem: str
+    name: str
+    start: float
+    end: Optional[float] = None
+    depth: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def time(self) -> float:
+        """Alias so spans sort/format alongside point events."""
+        return self.start
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    @property
+    def message(self) -> str:
+        """Human-readable one-liner (keeps ``records()`` uniform)."""
+        extras = " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        dur = "" if self.duration is None else f" [{self.duration * 1e6:.1f}us]"
+        return f"{self.name}{dur}{(' ' + extras) if extras else ''}"
+
+
+Record = Union[TraceRecord, Span]
+
+
+class SpanTracer:
+    """Bounded ring of point events and spans with drop accounting."""
+
+    def __init__(self, enabled: bool = False, capacity: int = 10000):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._ring: Deque[Record] = deque(maxlen=capacity)
+        self._stack: List[Span] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _append(self, record: Record) -> None:
+        if len(self._ring) >= self.capacity:
+            self.dropped += 1
+        self._ring.append(record)
+
+    def trace(self, now: float, subsystem: str, message: str) -> None:
+        """Record a point event (the legacy API)."""
+        if self.enabled:
+            self._append(TraceRecord(now, subsystem, message))
+
+    def begin(self, now: float, subsystem: str, name: str,
+              **attrs: object) -> Optional[Span]:
+        """Open a nested span; returns None when tracing is disabled."""
+        if not self.enabled:
+            return None
+        span = Span(subsystem, name, now, depth=len(self._stack), attrs=attrs)
+        self._stack.append(span)
+        return span
+
+    def end(self, now: float, span: Optional[Span], **attrs: object) -> None:
+        """Close ``span`` (a no-op for the None a disabled begin returns)."""
+        if span is None:
+            return
+        span.end = now
+        if attrs:
+            span.attrs.update(attrs)
+        # spans normally close LIFO; tolerate out-of-order ends
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:
+            try:
+                self._stack.remove(span)
+            except ValueError:
+                pass
+        self._append(span)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def records(self, subsystem: Optional[str] = None) -> List[Record]:
+        if subsystem is None:
+            return list(self._ring)
+        return [r for r in self._ring if r.subsystem == subsystem]
+
+    def spans(self, subsystem: Optional[str] = None) -> List[Span]:
+        """Completed spans only, optionally filtered by subsystem."""
+        return [r for r in self.records(subsystem) if isinstance(r, Span)]
+
+    @property
+    def open_spans(self) -> List[Span]:
+        """Spans begun but not yet ended (innermost last)."""
+        return list(self._stack)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._stack.clear()
+        self.dropped = 0
+
+    def dump(self) -> str:
+        lines = []
+        for r in self._ring:
+            indent = "  " * getattr(r, "depth", 0)
+            lines.append(
+                f"[{r.time:12.6f}] {r.subsystem:12s} {indent}{r.message}")
+        if self.dropped:
+            lines.append(f"... {self.dropped} older record(s) dropped "
+                         f"(ring capacity {self.capacity})")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export_jsonl(self, out: Union[str, TextIO]) -> int:
+        """Write every record as one JSON object per line.
+
+        ``out`` is a path or a writable file object.  Returns the number
+        of records written (excluding the leading meta line).
+        """
+        close = False
+        if isinstance(out, str):
+            out = open(out, "w", encoding="utf-8")
+            close = True
+        try:
+            out.write(json.dumps({
+                "type": "meta", "records": len(self._ring),
+                "dropped": self.dropped, "capacity": self.capacity,
+            }) + "\n")
+            for r in self._ring:
+                if isinstance(r, Span):
+                    out.write(json.dumps({
+                        "type": "span", "subsystem": r.subsystem,
+                        "name": r.name, "start": r.start, "end": r.end,
+                        "depth": r.depth,
+                        "attrs": {k: repr(v) if not isinstance(
+                            v, (int, float, str, bool, type(None))) else v
+                            for k, v in r.attrs.items()},
+                    }) + "\n")
+                else:
+                    out.write(json.dumps({
+                        "type": "event", "time": r.time,
+                        "subsystem": r.subsystem, "message": r.message,
+                    }) + "\n")
+            return len(self._ring)
+        finally:
+            if close:
+                out.close()
+
+
+#: Backwards-compatible name: the old flat tracer API is a strict subset.
+Tracer = SpanTracer
+
+#: Shared no-op tracer for components created without an explicit one.
+NULL_TRACER = SpanTracer(enabled=False, capacity=1)

@@ -114,7 +114,7 @@ class Connection:
     """Server-side per-connection bookkeeping."""
 
     __slots__ = ("fd", "state", "parser", "outbuf", "last_activity",
-                 "accepted_at", "signo")
+                 "accepted_at", "signo", "span")
 
     def __init__(self, fd: int, now: float):
         self.fd = fd
@@ -124,6 +124,7 @@ class Connection:
         self.last_activity = now
         self.accepted_at = now
         self.signo = 0  # RT signal number, when the event model uses one
+        self.span = None  # open tracing span for the in-flight request
 
     def touch(self, now: float) -> None:
         self.last_activity = now
@@ -241,6 +242,9 @@ class BaseServer:
         if request is None:
             return "open"  # partial request (an inactive client, usually)
         self.stats.requests += 1
+        if self.kernel.tracer.enabled:
+            conn.span = self.kernel.span(self.name, "request", fd=conn.fd,
+                                         path=request.path)
         yield from sys.cpu_work(costs.http_parse_request, "http.parse")
         yield from sys.cpu_work(costs.file_cache_lookup, "http.cache")
         response = self.site.respond(request.path)
@@ -271,6 +275,9 @@ class BaseServer:
             conn.outbuf = conn.outbuf[sent:]
             self.stats.bytes_sent += sent
         self.stats.responses += 1
+        if conn.span is not None:
+            self.kernel.span_end(conn.span, outcome="responded")
+            conn.span = None
         yield from sys.cpu_work(self.kernel.costs.app_log_request, "http.log")
         yield from self.close_conn(conn)
         return "closed"
@@ -280,6 +287,9 @@ class BaseServer:
         deregistration before calling this)."""
         if conn.fd in self.conns:
             del self.conns[conn.fd]
+            if conn.span is not None:
+                self.kernel.span_end(conn.span, outcome="aborted")
+                conn.span = None
             try:
                 yield from self.sys.close(conn.fd)
             except SyscallError:

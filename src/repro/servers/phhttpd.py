@@ -192,6 +192,8 @@ class PhhttpdServer(BaseServer):
         sys = self.sys
         self.overflow_at = self.kernel.sim.now
         self.mode = "polling"
+        span = self.kernel.span("phhttpd", "overflow_handoff",
+                                conns=len(self.conns))
         self.kernel.trace(
             "phhttpd", f"RT queue overflow: flushing and handing "
             f"{len(self.conns)} connections to the poll sibling")
@@ -209,6 +211,7 @@ class PhhttpdServer(BaseServer):
         yield from sys.close(self.listen_fd)
         self.listen_fd = -1
         yield from sys.send_fds(self.handoff_fd, ("done",), [])
+        self.kernel.span_end(span, handoffs=self.handoffs)
 
     # ------------------------------------------------------------------
     def stop(self) -> None:

@@ -45,6 +45,10 @@ class ThttpdServer(BaseServer):
 
             timeout = max(0.0, next_sweep - sim.now)
             ready = yield from sys.poll(interests, timeout)
+            if self.kernel.tracer.enabled:
+                self.kernel.trace(self.name,
+                                  f"loop {self.stats.loops}: poll over "
+                                  f"{len(interests)} fds, {len(ready)} ready")
             # userspace must scan the whole returned array for revents
             yield from sys.cpu_work(
                 costs.user_scan_per_fd * len(interests), "app.scan")

@@ -93,6 +93,10 @@ class ThttpdDevpollServer(BaseServer):
                     yield from sys.write(self.dp_fd, self._updates.flush())
                 ready = yield from sys.ioctl(self.dp_fd, DP_POLL, dvp)
             # userspace scans only the ready results
+            if self.kernel.tracer.enabled:
+                self.kernel.trace(self.name,
+                                  f"loop {self.stats.loops}: "
+                                  f"{len(ready)} ready")
             yield from sys.cpu_work(
                 costs.user_scan_per_fd * len(ready), "app.scan")
 

@@ -46,24 +46,38 @@ class CPU:
         #: relative speed multiplier; charges are divided by this, so a
         #: ``speed=2.0`` CPU does the same work in half the time.
         self.speed = speed
-        self._queues: Dict[int, Deque[Tuple[Event, float, str]]] = {
+        self._queues: Dict[int, Deque[Tuple[Event, float, str, Optional[
+            Tuple[Tuple[str, float], ...]]]]] = {
             p: deque() for p in _PRIORITIES
         }
         self._busy = False
         self.busy_time = 0.0
         self.busy_by_category: Dict[str, float] = {}
+        #: optional repro.obs.profiler.CpuProfiler; when attached, every
+        #: dispatched grant is attributed to a (subsystem, operation) pair
+        self.profiler = None
         self._created_at = sim.now
 
     # ------------------------------------------------------------------
     def consume(self, duration: float, priority: int = PRIO_USER,
-                category: str = "other") -> Event:
-        """Request ``duration`` seconds of CPU; returns the completion Event."""
+                category: str = "other",
+                breakdown: Optional[Tuple[Tuple[str, float], ...]] = None
+                ) -> Event:
+        """Request ``duration`` seconds of CPU; returns the completion Event.
+
+        ``breakdown`` optionally itemizes the charge for an attached
+        profiler as (operation, seconds) parts summing to ``duration``;
+        it does not affect scheduling or ``busy_by_category``.
+        """
         if duration < 0:
             raise SimulationError(f"negative CPU charge: {duration}")
         if priority not in self._queues:
             raise SimulationError(f"unknown CPU priority {priority}")
         done = self.sim.event(f"{self.name}.grant")
-        self._queues[priority].append((done, duration / self.speed, category))
+        if breakdown is not None and self.speed != 1.0:
+            breakdown = tuple((op, s / self.speed) for op, s in breakdown)
+        self._queues[priority].append(
+            (done, duration / self.speed, category, breakdown))
         if not self._busy:
             self._dispatch()
         return done
@@ -78,12 +92,14 @@ class CPU:
         for prio in _PRIORITIES:
             queue = self._queues[prio]
             if queue:
-                done, duration, category = queue.popleft()
+                done, duration, category, breakdown = queue.popleft()
                 self._busy = True
                 self.busy_time += duration
                 self.busy_by_category[category] = (
                     self.busy_by_category.get(category, 0.0) + duration
                 )
+                if self.profiler is not None:
+                    self.profiler.record(category, duration, breakdown)
                 self.sim.schedule(duration, self._finish, done)
                 return
         self._busy = False

@@ -15,8 +15,10 @@ aggregations without any external dependencies.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from ..obs.metrics import Tally
 
 
 class WindowedRate:
@@ -175,14 +177,7 @@ class ErrorCounter:
         }
 
 
-@dataclass
-class Counter:
-    """A tiny labelled tally used for kernel/server internal statistics."""
-
-    counts: Dict[str, int] = field(default_factory=dict)
-
-    def inc(self, key: str, by: int = 1) -> None:
-        self.counts[key] = self.counts.get(key, 0) + by
-
-    def get(self, key: str) -> int:
-        return self.counts.get(key, 0)
+#: The tiny labelled tally used for kernel/server internal statistics
+#: now lives in the observability layer as a registry-backed counter
+#: family; this alias keeps the historic name and API working.
+Counter = Tally

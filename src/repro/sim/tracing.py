@@ -1,45 +1,22 @@
-"""Lightweight execution tracing.
+"""Lightweight execution tracing (compatibility shim).
 
-A :class:`Tracer` records (time, subsystem, message) tuples into a bounded
-ring buffer.  Tracing is off by default and costs a single attribute check
-per call site, so it can stay wired through the kernel and servers without
-affecting benchmark numbers.
+The tracer grew into the observability layer's span tracer; see
+:mod:`repro.obs.spans` for the real implementation.  This module keeps
+the historic import path working: ``Tracer`` still records (time,
+subsystem, message) tuples into a bounded ring buffer, is off by
+default, and costs a single attribute check per call site -- it just
+also supports nested begin/end spans, drop accounting, and JSONL export
+now.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, List, NamedTuple, Optional
+from ..obs.spans import (  # noqa: F401  (re-exported API)
+    NULL_TRACER,
+    Span,
+    SpanTracer,
+    TraceRecord,
+    Tracer,
+)
 
-
-class TraceRecord(NamedTuple):
-    time: float
-    subsystem: str
-    message: str
-
-
-class Tracer:
-    def __init__(self, enabled: bool = False, capacity: int = 10000):
-        self.enabled = enabled
-        self._ring: Deque[TraceRecord] = deque(maxlen=capacity)
-
-    def trace(self, now: float, subsystem: str, message: str) -> None:
-        if self.enabled:
-            self._ring.append(TraceRecord(now, subsystem, message))
-
-    def records(self, subsystem: Optional[str] = None) -> List[TraceRecord]:
-        if subsystem is None:
-            return list(self._ring)
-        return [r for r in self._ring if r.subsystem == subsystem]
-
-    def clear(self) -> None:
-        self._ring.clear()
-
-    def dump(self) -> str:
-        return "\n".join(
-            f"[{r.time:12.6f}] {r.subsystem:12s} {r.message}" for r in self._ring
-        )
-
-
-#: Shared no-op tracer for components created without an explicit one.
-NULL_TRACER = Tracer(enabled=False, capacity=1)
+__all__ = ["NULL_TRACER", "Span", "SpanTracer", "TraceRecord", "Tracer"]

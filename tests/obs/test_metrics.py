@@ -1,0 +1,132 @@
+"""Metrics registry: counters, gauges, histogram bucket edges, Tally."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tally,
+)
+
+
+def test_counter_monotonic():
+    c = Counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("open")
+    g.inc()
+    g.inc(2)
+    g.dec()
+    assert g.value == 2
+    g.set(7.5)
+    assert g.value == 7.5
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(0.5)   # <= 1.0
+        h.observe(1.0)   # exactly on a bound -> that bucket
+        h.observe(1.001)  # just past -> next bucket
+        h.observe(4.0)   # last bound, inclusive
+        h.observe(4.001)  # overflow
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+
+    def test_bucket_counts_marks_overflow_with_none(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(9.0)
+        assert h.bucket_counts() == [(1.0, 0), (None, 1)]
+
+    def test_mean(self):
+        h = Histogram("lat", buckets=(10.0,))
+        assert h.mean() == 0.0
+        h.observe(1.0)
+        h.observe(3.0)
+        assert h.mean() == 2.0
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+        with pytest.raises(ValueError):
+            reg.histogram("a")
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c"] == 3
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["buckets"][0] == {"le": 1.0, "count": 1}
+
+    def test_render_lists_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("sys.read").inc()
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = reg.render()
+        assert "sys.read: 1" in text
+        assert "lat: n=1" in text
+
+
+class TestTally:
+    def test_standalone_matches_old_counter_api(self):
+        t = Tally()
+        t.inc("read")
+        t.inc("read", 2)
+        t.inc("write")
+        assert t.get("read") == 3
+        assert t.get("missing") == 0
+        assert t.counts == {"read": 3, "write": 1}
+        assert set(t.keys()) == {"read", "write"}
+
+    def test_shared_registry_with_prefix(self):
+        reg = MetricsRegistry()
+        t = reg.tally(prefix="sys")
+        t.inc("read")
+        assert reg.counter("sys.read").value == 1
+        assert t.counts == {"read": 1}
+
+    def test_two_tallies_on_one_registry_stay_distinct(self):
+        reg = MetricsRegistry()
+        sys_t = reg.tally(prefix="sys")
+        tcp_t = reg.tally(prefix="tcp")
+        sys_t.inc("read")
+        tcp_t.inc("segments")
+        assert sys_t.counts == {"read": 1}
+        assert tcp_t.counts == {"segments": 1}
+
+    def test_sim_stats_counter_is_tally(self):
+        from repro.sim.stats import Counter as LegacyCounter
+
+        assert LegacyCounter is Tally

@@ -1,0 +1,128 @@
+"""CPU profiler: category mapping, breakdowns, exact attribution."""
+
+import pytest
+
+from repro.obs.profiler import (
+    CATEGORY_ALIASES,
+    CpuProfiler,
+    ProfileReport,
+    ProfileRow,
+    split_category,
+)
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+from repro.sim.resources import PRIO_SOFTIRQ, CPU
+
+
+class TestSplitCategory:
+    def test_dotted_categories_split_on_first_dot(self):
+        assert split_category("devpoll.scan") == ("devpoll", "scan")
+        assert split_category("rtsig.enqueue") == ("rtsig", "enqueue")
+        assert split_category("a.b.c") == ("a", "b.c")
+
+    def test_legacy_undotted_categories_have_homes(self):
+        assert split_category("close") == ("syscall", "close")
+        assert split_category("accept") == ("syscall", "accept")
+        assert split_category("syscall") == ("syscall", "entry")
+        assert split_category("user") == ("user", "compute")
+        for alias, (sub, op) in CATEGORY_ALIASES.items():
+            assert split_category(alias) == (sub, op)
+
+    def test_unknown_category_falls_back_to_total(self):
+        assert split_category("mystery") == ("mystery", "total")
+
+
+class TestCpuProfiler:
+    def test_record_accumulates_times_and_samples(self):
+        p = CpuProfiler()
+        p.record("devpoll.scan", 2.0)
+        p.record("devpoll.scan", 3.0)
+        p.record("net.rx", 1.0)
+        assert p.seconds("devpoll", "scan") == 5.0
+        assert p.seconds("devpoll") == 5.0
+        assert p.total == 6.0
+        assert p.samples[("devpoll", "scan")] == 2
+
+    def test_breakdown_itemizes_under_the_category_subsystem(self):
+        p = CpuProfiler()
+        p.record("devpoll.scan", 5.0,
+                 breakdown=(("poll_base", 2.0), ("driver_callback", 3.0)))
+        assert p.seconds("devpoll", "poll_base") == 2.0
+        assert p.seconds("devpoll", "driver_callback") == 3.0
+        assert p.seconds("devpoll", "scan") == 0.0
+        assert p.total == 5.0
+
+    def test_clear(self):
+        p = CpuProfiler()
+        p.record("x.y", 1.0)
+        p.clear()
+        assert p.total == 0.0
+        assert p.report().rows == []
+
+    def test_report_rows_sorted_and_shares_sum_to_one(self):
+        p = CpuProfiler()
+        p.record("a.x", 1.0)
+        p.record("b.y", 3.0)
+        report = p.report()
+        assert [r.subsystem for r in report.rows] == ["b", "a"]
+        assert sum(r.share for r in report.rows) == pytest.approx(1.0)
+        assert report.share_of("b") == pytest.approx(0.75)
+        assert report.share_of("b", "y") == pytest.approx(0.75)
+        assert report.by_subsystem()[0][0] == "b"
+
+    def test_render_handles_empty_and_top(self):
+        empty = ProfileReport(rows=[], total=0.0)
+        assert "total charged CPU" in empty.render()
+        rows = [ProfileRow("a", "x", 3.0, 0.75, 1),
+                ProfileRow("b", "y", 1.0, 0.25, 1)]
+        text = ProfileReport(rows=rows, total=4.0).render(top=1)
+        assert "a" in text
+        assert "1 smaller row(s) omitted" in text
+        # top=0 / None both mean "all rows"
+        assert "omitted" not in ProfileReport(rows=rows, total=4.0).render(
+            top=0)
+
+
+class TestAttachedToCpu:
+    def _run(self, profiler, speed=1.0):
+        sim = Simulator()
+        cpu = CPU(sim, speed=speed)
+        cpu.profiler = profiler
+
+        def work():
+            yield cpu.consume(1.0, category="devpoll.scan",
+                              breakdown=(("poll_base", 0.25),
+                                         ("driver_callback", 0.75)))
+            yield cpu.consume(0.5, category="net.rx",
+                              priority=PRIO_SOFTIRQ)
+            yield cpu.consume(0.25, category="close")
+
+        spawn(sim, work())
+        sim.run()
+        return cpu
+
+    def test_attribution_sums_exactly_to_busy_time(self):
+        p = CpuProfiler()
+        cpu = self._run(p)
+        assert p.total == pytest.approx(cpu.busy_time, rel=1e-12)
+        assert p.seconds("devpoll") == pytest.approx(1.0)
+        assert p.seconds("syscall", "close") == pytest.approx(0.25)
+
+    def test_speed_scaling_applies_to_breakdowns_too(self):
+        p = CpuProfiler()
+        cpu = self._run(p, speed=0.4)
+        assert p.total == pytest.approx(cpu.busy_time, rel=1e-12)
+        assert p.seconds("devpoll", "driver_callback") == pytest.approx(
+            0.75 / 0.4)
+
+    def test_detached_cpu_records_nothing(self):
+        sim = Simulator()
+        cpu = CPU(sim)
+
+        def work():
+            yield cpu.consume(1.0, category="x.y")
+
+        spawn(sim, work())
+        sim.run()
+        assert cpu.profiler is None
+        assert cpu.busy_time == pytest.approx(1.0)

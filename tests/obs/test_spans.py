@@ -1,0 +1,112 @@
+"""Span tracer: nesting, bounded ring with counted drops, JSONL export."""
+
+import json
+
+from repro.obs.spans import NULL_TRACER, Span, SpanTracer, TraceRecord
+
+
+def test_disabled_tracer_records_nothing():
+    t = SpanTracer(enabled=False)
+    t.trace(1.0, "x", "hello")
+    assert t.begin(1.0, "x", "op") is None
+    t.end(2.0, None)  # ending a None span is a no-op
+    assert t.records() == []
+    assert t.spans() == []
+
+
+def test_trace_records_are_ordered_and_filterable():
+    t = SpanTracer(enabled=True)
+    t.trace(1.0, "poll", "first")
+    t.trace(2.0, "devpoll", "second")
+    t.trace(3.0, "poll", "third")
+    assert [r.message for r in t.records()] == ["first", "second", "third"]
+    assert [r.message for r in t.records("poll")] == ["first", "third"]
+    assert isinstance(t.records()[0], TraceRecord)
+
+
+def test_span_nesting_depth():
+    t = SpanTracer(enabled=True)
+    outer = t.begin(0.0, "bench", "measure")
+    inner = t.begin(1.0, "devpoll", "dp_poll", interests=3)
+    assert outer.depth == 0
+    assert inner.depth == 1
+    assert t.open_spans == [outer, inner]
+    t.end(2.0, inner, ready=2)
+    t.end(3.0, outer)
+    assert t.open_spans == []
+    assert inner.duration == 1.0
+    assert outer.duration == 3.0
+    assert inner.attrs == {"interests": 3, "ready": 2}
+
+
+def test_out_of_order_end_tolerated():
+    t = SpanTracer(enabled=True)
+    a = t.begin(0.0, "s", "a")
+    b = t.begin(1.0, "s", "b")
+    t.end(2.0, a)  # a closed while b still open
+    assert t.open_spans == [b]
+    t.end(3.0, b)
+    assert {s.name for s in t.spans()} == {"a", "b"}
+
+
+def test_ring_overflow_counts_drops_and_keeps_newest():
+    t = SpanTracer(enabled=True, capacity=3)
+    for i in range(5):
+        t.trace(float(i), "x", f"msg{i}")
+    assert t.dropped == 2
+    assert [r.message for r in t.records()] == ["msg2", "msg3", "msg4"]
+
+
+def test_dump_surfaces_dropped_count():
+    t = SpanTracer(enabled=True, capacity=2)
+    for i in range(4):
+        t.trace(float(i), "x", f"m{i}")
+    dump = t.dump()
+    assert "m3" in dump
+    assert "2 older record(s) dropped" in dump
+    t.clear()
+    assert t.dropped == 0
+    assert "dropped" not in t.dump()
+
+
+def test_spans_share_the_ring_with_events():
+    t = SpanTracer(enabled=True, capacity=2)
+    s = t.begin(0.0, "x", "op")
+    t.end(1.0, s)
+    t.trace(2.0, "x", "a")
+    t.trace(3.0, "x", "b")
+    assert t.dropped == 1  # the finished span record was evicted
+
+
+def test_export_jsonl(tmp_path):
+    t = SpanTracer(enabled=True)
+    t.trace(0.5, "net", "packet")
+    s = t.begin(1.0, "http", "request", fd=7, obj=object())
+    t.end(2.0, s, outcome="responded")
+    path = tmp_path / "trace.jsonl"
+    t.export_jsonl(str(path))
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert lines[0]["type"] == "meta"
+    assert lines[0]["dropped"] == 0
+    events = [l for l in lines if l["type"] == "event"]
+    spans = [l for l in lines if l["type"] == "span"]
+    assert events[0]["subsystem"] == "net"
+    assert spans[0]["name"] == "request"
+    assert spans[0]["attrs"]["fd"] == 7
+    assert isinstance(spans[0]["attrs"]["obj"], str)  # repr'd, not raw
+
+
+def test_backward_compat_alias():
+    from repro.sim.tracing import NULL_TRACER as legacy_null
+    from repro.sim.tracing import Tracer
+
+    assert Tracer is SpanTracer
+    assert legacy_null is NULL_TRACER
+    assert NULL_TRACER.enabled is False
+
+
+def test_span_message_property():
+    s = Span(subsystem="x", name="op", start=1.0, end=2.5,
+             attrs={"fd": 3})
+    assert "op" in s.message
+    assert s.duration == 1.5

@@ -26,6 +26,50 @@ def test_point(capsys):
     assert "errors 0.00%" in out
 
 
+def test_point_unknown_server_exits_2(capsys):
+    assert main(["point", "no-such-server", "100", "1"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # one clean line, no traceback
+    assert "unknown server" in err
+    assert "thttpd-devpoll" in err  # lists the choices
+
+
+def test_point_trace_and_profile_out(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.jsonl"
+    profile = tmp_path / "profile.json"
+    assert main(["point", "thttpd", "150", "5", "--duration", "1.5",
+                 "--trace", str(trace),
+                 "--profile-out", str(profile)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace -> {trace}" in out
+    assert f"profile -> {profile}" in out
+    assert json.loads(trace.read_text().splitlines()[0])["type"] == "meta"
+    report = json.loads(profile.read_text())
+    assert report["total_cpu_seconds"] > 0
+    assert report["rows"]
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "thttpd-devpoll", "200", "10",
+                 "--duration", "1.5"]) == 0
+    out = capsys.readouterr().out
+    assert "subsystem" in out
+    assert "total charged CPU" in out
+    assert "devpoll" in out
+
+
+def test_profile_unknown_server_exits_2(capsys):
+    assert main(["profile", "nope", "100", "1"]) == 2
+    assert "unknown server" in capsys.readouterr().err
+
+
+def test_profile_no_hints_requires_devpoll(capsys):
+    assert main(["profile", "thttpd", "100", "1", "--no-hints"]) == 2
+    assert "--no-hints" in capsys.readouterr().err
+
+
 def test_figures_unknown_id(capsys):
     assert main(["figures", "fig99"]) == 1
     assert "unknown figure" in capsys.readouterr().err

@@ -6,8 +6,14 @@ Subcommands:
 * ``point SERVER RATE LOAD``    -- run one benchmark point
 * ``profile SERVER RATE LOAD`` -- run one point and print where the
                                    server CPU went
+* ``flame SERVER RATE LOAD``    -- run one point, print an ASCII flame
+                                   view, optionally export folded stacks
 * ``figures [ids...]``          -- regenerate paper figures (like
                                    examples/paper_figures.py)
+* ``bench --suite NAME``        -- run a named suite, write the
+                                   canonical ``BENCH_<suite>.json``
+* ``compare OLD NEW``           -- diff two BENCH artifacts; exits
+                                   nonzero on regression (the CI gate)
 """
 
 from __future__ import annotations
@@ -41,17 +47,21 @@ def _check_server(kind: str) -> bool:
 
 
 def cmd_info(_args) -> int:
-    """Print package, server, and figure inventory."""
+    """Print package, server, figure, and suite inventory."""
     import repro
     from repro.bench.harness import SERVER_KINDS
     from repro.bench.figures import ALL_FIGURES
+    from repro.bench.suites import SUITES
 
     print(f"repro {repro.__version__} -- reproduction of "
           f"'Scalable Network I/O in Linux' (Provos & Lever, 2000)")
     print(f"servers : {', '.join(sorted(SERVER_KINDS))}")
     print(f"figures : {', '.join(sorted(ALL_FIGURES))}")
+    print(f"suites  : {', '.join(sorted(SUITES))}")
     print("profile : `repro profile SERVER RATE LOAD` attributes server "
           "CPU to (subsystem, operation)")
+    print("bench   : `repro bench --suite smoke --out BENCH_smoke.json`, "
+          "then `repro compare OLD NEW` gates on regressions")
     print("docs    : README.md, DESIGN.md, EXPERIMENTS.md, "
           "docs/observability.md")
     return 0
@@ -75,6 +85,10 @@ def cmd_point(args) -> int:
     print(f"  errors {result.error_percent:.2f}%   "
           f"median {result.median_conn_ms:.2f} ms   "
           f"cpu {100 * result.cpu_utilization:.0f}%")
+    pct = result.httperf.latency_percentiles_ms()
+    if pct is not None:
+        print(f"  latency ms p50 {pct['p50']:.2f}  p90 {pct['p90']:.2f}  "
+              f"p99 {pct['p99']:.2f}  p99.9 {pct['p99.9']:.2f}")
     status = 0
     if args.trace is not None:
         try:
@@ -127,6 +141,94 @@ def cmd_profile(args) -> int:
             return 1
         print(f"profile -> {args.json}")
     return 0
+
+
+def cmd_flame(args) -> int:
+    """Run one traced+profiled point and print the ASCII flame view."""
+    from repro.bench import BenchmarkPoint, run_point
+    from repro.obs.flame import ascii_flame, folded_stacks, write_folded
+
+    if not _check_server(args.server):
+        return 2
+    result = run_point(BenchmarkPoint(
+        server=args.server, rate=args.rate, inactive=args.inactive,
+        duration=args.duration, seed=args.seed, trace=True, profile=True))
+    lines = folded_stacks(result.testbed.tracer, result.profiler)
+    # Write the file before printing: `repro flame ... --out F | head`
+    # must not lose F to a broken pipe.
+    if args.out is not None:
+        try:
+            count = write_folded(lines, args.out)
+        except OSError as err:
+            print(f"repro: cannot write {args.out}: {err.strerror}",
+                  file=sys.stderr)
+            return 1
+        print(f"folded stacks -> {args.out} ({count} lines; feed to "
+              f"flamegraph.pl or speedscope)")
+    rr = result.reply_rate
+    print(ascii_flame(
+        lines, width=args.width,
+        title=(f"{args.server} @ {args.rate:.0f}/s, {args.inactive} "
+               f"inactive: {rr.avg:.1f} replies/s -- flame (self time)")))
+    if result.testbed.tracer.dropped:
+        print(f"note: span ring dropped {result.testbed.tracer.dropped} "
+              f"record(s); span-derived stacks undercount", file=sys.stderr)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run a named suite and write the canonical BENCH artifact."""
+    from repro.bench.suites import SUITES, dump_artifact, run_suite
+
+    if args.list:
+        for name in sorted(SUITES):
+            suite = SUITES[name]
+            print(f"{name}: {suite.description} ({len(suite.points)} points)")
+        return 0
+    if args.suite not in SUITES:
+        print(f"repro: unknown suite {args.suite!r}; choose from "
+              f"{', '.join(sorted(SUITES))}", file=sys.stderr)
+        return 2
+    out = args.out if args.out is not None else f"BENCH_{args.suite}.json"
+
+    def progress(entry):
+        pct = entry.get("latency_percentiles") or {}
+        p99 = pct.get("p99")
+        line = (f"  {entry['label']}: {entry['reply_rate']['avg']:.1f} "
+                f"replies/s, {entry['error_percent']:.2f}% err")
+        if p99 is not None:
+            line += f", p99 {p99:.2f} ms"
+        print(line + f" [{entry['wall_clock_s']:.1f}s]", flush=True)
+
+    print(f"suite {args.suite} ({len(SUITES[args.suite].points)} points):")
+    artifact = run_suite(args.suite, trace=args.trace, on_point=progress)
+    try:
+        dump_artifact(artifact, out)
+    except OSError as err:
+        print(f"repro: cannot write {out}: {err.strerror}", file=sys.stderr)
+        return 1
+    print(f"artifact -> {out} (fingerprint {artifact['fingerprint']}, "
+          f"{artifact['wall_clock_s']:.1f}s wall clock)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Diff two BENCH artifacts; exit nonzero on regression."""
+    from repro.bench.regression import Tolerances, compare_artifacts
+    from repro.bench.suites import load_artifact
+
+    artifacts = []
+    for path in (args.old, args.new):
+        try:
+            artifacts.append(load_artifact(path))
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"repro: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+    report = compare_artifacts(artifacts[0], artifacts[1], Tolerances(
+        reply_rate=args.reply_tol, error_percent=args.error_tol,
+        latency_p99=args.latency_tol, cpu=args.cpu_tol))
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_figures(args) -> int:
@@ -195,6 +297,43 @@ def main(argv=None) -> int:
     p_prof.add_argument("--json", metavar="FILE",
                         help="also write the report as JSON")
 
+    p_flame = sub.add_parser(
+        "flame", help="run one point, print an ASCII flame view")
+    p_flame.add_argument("server")
+    p_flame.add_argument("rate", type=float)
+    p_flame.add_argument("inactive", type=int)
+    p_flame.add_argument("--duration", type=float, default=5.0)
+    p_flame.add_argument("--seed", type=int, default=0)
+    p_flame.add_argument("--width", type=int, default=40,
+                         help="bar width of the ASCII view")
+    p_flame.add_argument("--out", metavar="FILE",
+                         help="also write folded stacks (flamegraph.pl "
+                              "input)")
+
+    p_bench = sub.add_parser(
+        "bench", help="run a named suite, write BENCH_<suite>.json")
+    p_bench.add_argument("--suite", default="smoke")
+    p_bench.add_argument("--out", metavar="FILE",
+                         help="artifact path (default BENCH_<suite>.json)")
+    p_bench.add_argument("--trace", action="store_true",
+                         help="run every point with span tracing on")
+    p_bench.add_argument("--list", action="store_true",
+                         help="list available suites and exit")
+
+    p_cmp = sub.add_parser(
+        "compare", help="diff two BENCH artifacts; nonzero on regression")
+    p_cmp.add_argument("old")
+    p_cmp.add_argument("new")
+    p_cmp.add_argument("--reply-tol", type=float, default=0.10,
+                       help="max relative reply-rate drop (default 0.10)")
+    p_cmp.add_argument("--error-tol", type=float, default=1.0,
+                       help="max absolute error-%% increase (default 1.0)")
+    p_cmp.add_argument("--latency-tol", type=float, default=0.30,
+                       help="max relative p99 increase (default 0.30)")
+    p_cmp.add_argument("--cpu-tol", type=float, default=0.10,
+                       help="max absolute cpu-utilization increase "
+                            "(default 0.10)")
+
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("ids", nargs="*")
     p_fig.add_argument("--rates", type=float, nargs="+",
@@ -211,6 +350,12 @@ def main(argv=None) -> int:
         return cmd_point(args)
     if args.command == "profile":
         return cmd_profile(args)
+    if args.command == "flame":
+        return cmd_flame(args)
+    if args.command == "bench":
+        return cmd_bench(args)
+    if args.command == "compare":
+        return cmd_compare(args)
     if args.command == "figures":
         return cmd_figures(args)
     return cmd_info(args)

@@ -17,14 +17,26 @@ from .harness import (
 from .httperf import HttperfClient, HttperfConfig, HttperfResult
 from .inactive import InactiveConnectionPool, InactivePoolConfig
 from .records import (
+    RECORD_VERSION,
     dump_figure_record,
     figure_record,
     load_figure_record,
     point_record,
     sweep_record,
 )
+from .regression import ComparisonReport, MetricDelta, Tolerances, compare_artifacts
 from .reporting import (ascii_histogram, ascii_plot, format_table,
                         reply_rate_table)
+from .suites import (
+    ARTIFACT_VERSION,
+    SUITES,
+    BenchSuite,
+    dump_artifact,
+    load_artifact,
+    point_label,
+    run_suite,
+    suite_fingerprint,
+)
 from .sweeps import (
     PAPER_LOADS,
     PAPER_RATES,
@@ -36,7 +48,20 @@ from .testbed import CLIENT_HOST, SERVER_HOST, SERVER_PORT, Testbed, TestbedConf
 
 __all__ = [
     "ALL_FIGURES",
+    "ARTIFACT_VERSION",
+    "BenchSuite",
     "BenchmarkPoint",
+    "ComparisonReport",
+    "MetricDelta",
+    "RECORD_VERSION",
+    "SUITES",
+    "Tolerances",
+    "compare_artifacts",
+    "dump_artifact",
+    "load_artifact",
+    "point_label",
+    "run_suite",
+    "suite_fingerprint",
     "CLIENT_HOST",
     "CapacityEstimate",
     "cpu_breakdown",

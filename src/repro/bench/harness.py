@@ -103,6 +103,8 @@ class PointResult:
             "errors_pct": self.error_percent,
             "median_ms": (self.median_conn_ms
                           if self.median_conn_ms is not None else float("nan")),
+            "p99_ms": (self.httperf.conn_time_quantile_ms(0.99)
+                       if self.median_conn_ms is not None else float("nan")),
         }
 
 
@@ -186,7 +188,7 @@ def run_point(point: BenchmarkPoint) -> PointResult:
     result: HttperfResult = client.result
     if not client.done.triggered:
         # harness safety net -- should not happen; summarize what we have
-        result.reply_rate = client._reply_window.summary()
+        result.reply_rate = client.partial_summary()
     return PointResult(
         point=point,
         reply_rate=result.reply_rate,

@@ -34,6 +34,7 @@ from ..kernel.constants import (
     SyscallError,
 )
 from ..kernel.syscalls import SyscallInterface
+from ..obs.latency import LatencyHistogram
 from ..sim.engine import Event
 from ..sim.process import spawn
 from ..sim.stats import ErrorCounter, RateSummary, SampleSet, WindowedRate
@@ -91,6 +92,9 @@ class HttperfResult:
     #: the per-window reply-rate series behind ``reply_rate`` (one value
     #: per sample window, aligned to the measurement span)
     reply_rate_samples: list = field(default_factory=list)
+    #: streaming log-bucket histogram of connection times (ms) -- the
+    #: source of each point's archived p50/p90/p99/p99.9
+    latency_hist: Optional[LatencyHistogram] = None
     started_at: float = 0.0
     finished_at: float = 0.0
 
@@ -124,6 +128,13 @@ class HttperfResult:
             "max": ct.max(),
         }
 
+    def latency_percentiles_ms(self) -> Optional[dict]:
+        """Streaming-histogram percentiles (count/min/mean/max plus
+        p50/p90/p99/p99.9, all in ms), or None before any reply."""
+        if self.latency_hist is None:
+            return None
+        return self.latency_hist.summary()
+
 
 class HttperfClient:
     """Drives one benchmark run against the server host."""
@@ -139,7 +150,9 @@ class HttperfClient:
         self._rng = testbed.rng.stream(f"{name}.arrivals")
         self._reply_window = WindowedRate(self.config.sample_window)
         self._conn_times = SampleSet()
-        self.result = HttperfResult(conn_time_ms=self._conn_times)
+        self._latency_hist = LatencyHistogram()
+        self.result = HttperfResult(conn_time_ms=self._conn_times,
+                                    latency_hist=self._latency_hist)
         self._outstanding = 0
         #: triggered when the generator has launched everything and every
         #: connection has finished or errored
@@ -186,6 +199,16 @@ class HttperfClient:
             self.result.reply_rate = self._reply_window.summary()
             self.result.reply_rate_samples = self._reply_window.rates()
             self.done.trigger(self.result)
+
+    def partial_summary(self) -> RateSummary:
+        """Reply-rate summary over whatever has completed so far.
+
+        The harness safety net for a run cut off at its horizon with
+        connections still outstanding: ``result.reply_rate`` has not
+        been finalized (that happens when ``done`` triggers), so this
+        summarizes the reply windows recorded to date instead.
+        """
+        return self._reply_window.summary()
 
     # ------------------------------------------------------------------
     def _connection(self):
@@ -262,6 +285,7 @@ class HttperfClient:
             self._reply_window.record(sim.now)
             conn_ms = (sim.now - t0) * 1000.0
             self._conn_times.add(conn_ms)
+            self._latency_hist.record(conn_ms)
             res.reply_log.append((sim.now, conn_ms))
         else:
             res.errors.other += 1

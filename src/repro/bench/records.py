@@ -15,7 +15,18 @@ from .figures import FigureResult
 from .harness import PointResult
 from .sweeps import SweepResult
 
-RECORD_VERSION = 1
+#: Version history:
+#:
+#: 1 -- original shape: point config (server/rate/inactive/duration/
+#:      seed/timeout/server_opts) plus measurements.
+#: 2 -- adds the config fields that make a point re-runnable (``drain``,
+#:      ``num_conns``, ``client_fd_limit``, ``document_bytes``,
+#:      ``document_sizes``) and two measurements (``inactive_reconnects``
+#:      and streaming ``latency_percentiles`` / server-side
+#:      ``server_latency_percentiles``).  Loading a v1 record simply
+#:      leaves the new keys absent -- readers must treat them as
+#:      "unknown", not as the defaults.
+RECORD_VERSION = 2
 
 
 def point_record(result: PointResult) -> Dict[str, Any]:
@@ -26,8 +37,14 @@ def point_record(result: PointResult) -> Dict[str, Any]:
         "rate": point.rate,
         "inactive": point.inactive,
         "duration": point.duration,
+        "num_conns": point.num_conns,
         "seed": point.seed,
         "timeout": point.timeout,
+        "drain": point.drain,
+        "client_fd_limit": point.client_fd_limit,
+        "document_bytes": point.document_bytes,
+        "document_sizes": (list(point.document_sizes)
+                           if point.document_sizes is not None else None),
         "server_opts": {k: repr(v) if not isinstance(
             v, (int, float, str, bool, type(None))) else v
             for k, v in point.server_opts.items()},
@@ -42,9 +59,15 @@ def point_record(result: PointResult) -> Dict[str, Any]:
         "error_percent": result.error_percent,
         "median_conn_ms": result.median_conn_ms,
         "latency_ms": result.httperf.latency_summary_ms(),
+        "latency_percentiles": result.httperf.latency_percentiles_ms(),
+        "server_latency_percentiles": (
+            result.server.request_latency.summary()
+            if getattr(result.server, "request_latency", None) is not None
+            else None),
         "attempts": result.httperf.attempts,
         "replies_ok": result.httperf.replies_ok,
         "cpu_utilization": result.cpu_utilization,
+        "inactive_reconnects": result.inactive_reconnects,
         "time_wait_server": result.time_wait_server,
         "server_stats": {
             "accepts": result.server_stats.accepts,
@@ -94,12 +117,20 @@ def dump_figure_record(figure: FigureResult, path: str) -> None:
 
 
 def load_figure_record(path: str) -> Dict[str, Any]:
-    """Read a record written by dump_figure_record (version-checked)."""
+    """Read a record written by dump_figure_record (version-checked).
+
+    Any version up to :data:`RECORD_VERSION` loads; keys introduced by
+    later versions (see the version history above ``RECORD_VERSION``)
+    are simply absent from older records, so readers should ``.get()``
+    them.  Records from the future (or with a non-integer version) are
+    rejected rather than misread.
+    """
     with open(path) as fh:
         record = json.load(fh)
     version = record.get("record_version")
-    if version != RECORD_VERSION:
-        raise ValueError(f"unsupported record version {version!r}")
+    if not isinstance(version, int) or not 1 <= version <= RECORD_VERSION:
+        raise ValueError(f"unsupported record version {version!r} "
+                         f"(this build reads 1..{RECORD_VERSION})")
     return record
 
 
@@ -108,8 +139,12 @@ def compare_series(old: Dict[str, Any], new: Dict[str, Any],
                    tolerance: float = 0.15) -> Optional[str]:
     """Compare one plotted series between two figure records.
 
-    Returns None when every shared x-position agrees within
-    ``tolerance`` (relative), else a human-readable mismatch summary.
+    Points are aligned on their x-rate, not their position, so records
+    swept over different rate grids are never compared value-for-value
+    at mismatched x: shared rates are checked within ``tolerance``
+    (relative) and rates present on only one side are reported
+    explicitly.  Returns None when the grids match and every shared
+    point agrees, else a human-readable mismatch summary.
     """
     if old["figure_id"] != new["figure_id"]:
         return (f"different figures: {old['figure_id']} vs "
@@ -118,8 +153,21 @@ def compare_series(old: Dict[str, Any], new: Dict[str, Any],
     new_vals = new["series"].get(series)
     if old_vals is None or new_vals is None:
         return f"series {series!r} missing"
+    old_by_rate = dict(zip(old["x_rates"], old_vals))
+    new_by_rate = dict(zip(new["x_rates"], new_vals))
     mismatches = []
-    for x, a, b in zip(old["x_rates"], old_vals, new_vals):
+    missing = [x for x in old["x_rates"] if x not in new_by_rate]
+    extra = [x for x in new["x_rates"] if x not in old_by_rate]
+    if missing:
+        mismatches.append("missing in new: rates "
+                          + ", ".join(f"{x:.0f}" for x in missing))
+    if extra:
+        mismatches.append("extra in new: rates "
+                          + ", ".join(f"{x:.0f}" for x in extra))
+    for x in old["x_rates"]:
+        if x not in new_by_rate:
+            continue
+        a, b = old_by_rate[x], new_by_rate[x]
         scale = max(abs(a), abs(b), 1e-9)
         if abs(a - b) / scale > tolerance:
             mismatches.append(f"rate {x:.0f}: {a:.1f} vs {b:.1f}")

@@ -1,0 +1,149 @@
+"""The regression gate: diff two BENCH artifacts with tolerances.
+
+``repro compare OLD NEW`` (and the CI job behind it) calls
+:func:`compare_artifacts`, which matches points by label, computes the
+delta of every gated metric, and flags regressions against per-metric
+tolerances:
+
+* ``reply_rate.avg`` -- the paper's headline series -- may not *drop*
+  by more than a relative tolerance (improvements never flag);
+* ``error_percent`` may not rise by more than an absolute tolerance in
+  percentage points;
+* client p99 latency may not rise by more than a relative tolerance
+  (with a small absolute floor so microsecond jitter on a near-zero
+  baseline cannot flag);
+* ``cpu_utilization`` may not rise by more than an absolute tolerance.
+
+Structural problems -- different suites, different config fingerprints,
+points present on only one side -- are not "deltas" at all: the runs
+measured different experiments, so the comparison itself fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .reporting import format_table
+
+
+@dataclass
+class Tolerances:
+    """Per-metric regression thresholds (see module docstring)."""
+
+    reply_rate: float = 0.10        # max relative reply-rate drop
+    error_percent: float = 1.0      # max absolute error-% increase
+    latency_p99: float = 0.30       # max relative p99 increase ...
+    latency_floor_ms: float = 0.5   # ... ignoring rises smaller than this
+    cpu: float = 0.10               # max absolute utilization increase
+
+
+@dataclass
+class MetricDelta:
+    """One (point, metric) comparison."""
+
+    label: str
+    metric: str
+    old: Optional[float]
+    new: Optional[float]
+    regressed: bool = False
+
+    def delta_text(self) -> str:
+        if self.old is None or self.new is None:
+            return "n/a"
+        if self.old:
+            return f"{100.0 * (self.new - self.old) / self.old:+.1f}%"
+        return f"{self.new - self.old:+.2f}"
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``repro compare`` prints and exits on."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: structural mismatches that make the diff itself invalid
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and not self.regressions
+
+    def render(self) -> str:
+        rows = []
+        for d in self.deltas:
+            rows.append((
+                d.label, d.metric,
+                "-" if d.old is None else f"{d.old:.2f}",
+                "-" if d.new is None else f"{d.new:.2f}",
+                d.delta_text(),
+                "REGRESSED" if d.regressed else ""))
+        lines = [format_table(
+            ["point", "metric", "old", "new", "delta", ""], rows,
+            "BENCH comparison (old -> new)")]
+        for problem in self.problems:
+            lines.append(f"problem: {problem}")
+        if self.ok:
+            lines.append("no regressions")
+        else:
+            lines.append(f"{len(self.regressions)} regression(s), "
+                         f"{len(self.problems)} structural problem(s)")
+        return "\n".join(lines)
+
+
+def _p99(entry: Dict[str, Any]) -> Optional[float]:
+    percentiles = entry.get("latency_percentiles")
+    if not percentiles:
+        return None
+    return percentiles.get("p99")
+
+
+def compare_artifacts(old: Dict[str, Any], new: Dict[str, Any],
+                      tol: Optional[Tolerances] = None) -> ComparisonReport:
+    """Diff two BENCH artifacts; see the module docstring for the gate."""
+    tol = tol if tol is not None else Tolerances()
+    report = ComparisonReport()
+    if old.get("suite") != new.get("suite"):
+        report.problems.append(
+            f"different suites: {old.get('suite')!r} vs {new.get('suite')!r}")
+    elif old.get("fingerprint") != new.get("fingerprint"):
+        report.problems.append(
+            f"config fingerprints differ ({old.get('fingerprint')} vs "
+            f"{new.get('fingerprint')}): the runs measured different "
+            f"experiments; regenerate the baseline")
+    old_points = {p["label"]: p for p in old.get("points", [])}
+    new_points = {p["label"]: p for p in new.get("points", [])}
+    for label in old_points:
+        if label not in new_points:
+            report.problems.append(f"point {label} missing from new artifact")
+    for label in new_points:
+        if label not in old_points:
+            report.problems.append(f"point {label} only in new artifact")
+
+    for label, a in old_points.items():
+        b = new_points.get(label)
+        if b is None:
+            continue
+        a_rr, b_rr = a["reply_rate"]["avg"], b["reply_rate"]["avg"]
+        report.deltas.append(MetricDelta(
+            label, "reply_rate.avg", a_rr, b_rr,
+            regressed=b_rr < a_rr * (1.0 - tol.reply_rate)))
+        a_err, b_err = a["error_percent"], b["error_percent"]
+        report.deltas.append(MetricDelta(
+            label, "error_percent", a_err, b_err,
+            regressed=b_err > a_err + tol.error_percent))
+        a_p99, b_p99 = _p99(a), _p99(b)
+        regressed = (a_p99 is not None and b_p99 is not None
+                     and b_p99 > a_p99 * (1.0 + tol.latency_p99)
+                     and b_p99 - a_p99 > tol.latency_floor_ms)
+        report.deltas.append(MetricDelta(
+            label, "latency_p99_ms", a_p99, b_p99, regressed=regressed))
+        a_cpu, b_cpu = a.get("cpu_utilization"), b.get("cpu_utilization")
+        regressed = (a_cpu is not None and b_cpu is not None
+                     and b_cpu > a_cpu + tol.cpu)
+        report.deltas.append(MetricDelta(
+            label, "cpu_utilization", a_cpu, b_cpu, regressed=regressed))
+    return report

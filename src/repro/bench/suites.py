@@ -1,0 +1,185 @@
+"""Named benchmark suites and canonical ``BENCH_<suite>.json`` artifacts.
+
+A *suite* is a fixed, named list of benchmark points -- the unit CI and
+humans rerun and diff.  ``run_suite`` executes every point with the CPU
+profiler attached and emits one schema-versioned artifact holding, per
+point: the full v2 point record (config + reply rate + error classes +
+client/server latency percentiles), the profiler's (subsystem,
+operation) attribution, and real wall-clock cost.  The suite's *config
+fingerprint* -- a hash over every point's re-runnable configuration --
+travels in the artifact so ``repro compare`` can refuse to diff runs of
+different experiments (the telemetry-pipeline equivalent of the paper's
+"same testbed, same workload" discipline).
+
+Everything in the artifact except ``created_unix``/``wall_clock_s`` is
+a function of the (seeded, simulated) configuration, so two runs of the
+same suite on any machine produce byte-identical measurements --
+which is what makes a checked-in baseline meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from .harness import BenchmarkPoint, run_point
+from .records import RECORD_VERSION, point_record
+from .sweeps import QUICK_RATES
+
+#: bump when the artifact's shape changes; readers accept <= this
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """A named, ordered set of benchmark points."""
+
+    name: str
+    description: str
+    points: Tuple[BenchmarkPoint, ...]
+
+
+def _quick_points(duration: float, rates=QUICK_RATES, inactive=251,
+                  servers=("thttpd", "thttpd-devpoll", "phhttpd")):
+    return tuple(
+        BenchmarkPoint(server=server, rate=float(rate), inactive=inactive,
+                       duration=duration)
+        for server in servers for rate in rates)
+
+
+#: suite registry.  ``smoke`` is the CI gate (seconds of wall clock);
+#: ``quick`` is the three-server sweep at the paper's middle load;
+#: ``servers`` covers every registered event model at one operating
+#: point, so a refactor touching a single backend cannot hide.
+SUITES: Dict[str, BenchSuite] = {
+    "smoke": BenchSuite(
+        "smoke",
+        "CI gate: the three event models plus a loaded poll point, "
+        "~2 simulated seconds each",
+        (
+            BenchmarkPoint(server="thttpd", rate=150.0, inactive=1,
+                           duration=1.5),
+            BenchmarkPoint(server="thttpd", rate=150.0, inactive=50,
+                           duration=1.5),
+            BenchmarkPoint(server="thttpd-devpoll", rate=150.0, inactive=50,
+                           duration=1.5),
+            BenchmarkPoint(server="phhttpd", rate=150.0, inactive=50,
+                           duration=1.5),
+        )),
+    "servers": BenchSuite(
+        "servers",
+        "every registered server at one moderate operating point",
+        tuple(
+            BenchmarkPoint(server=server, rate=200.0, inactive=100,
+                           duration=2.0)
+            for server in ("thttpd", "thttpd-select", "thttpd-devpoll",
+                           "phhttpd", "hybrid"))),
+    "quick": BenchSuite(
+        "quick",
+        "three servers x three rates at the paper's 251-inactive load "
+        "(minutes of wall clock)",
+        _quick_points(duration=5.0)),
+}
+
+
+# ---------------------------------------------------------------------------
+# config fingerprint
+# ---------------------------------------------------------------------------
+
+def point_config(point: BenchmarkPoint) -> Dict[str, Any]:
+    """The re-runnable configuration of one point, canonically typed."""
+    return {
+        "server": point.server,
+        "rate": point.rate,
+        "inactive": point.inactive,
+        "duration": point.duration,
+        "num_conns": point.num_conns,
+        "seed": point.seed,
+        "timeout": point.timeout,
+        "client_fd_limit": point.client_fd_limit,
+        "drain": point.drain,
+        "document_bytes": point.document_bytes,
+        "document_sizes": (list(point.document_sizes)
+                           if point.document_sizes is not None else None),
+        "server_opts": {k: repr(v) for k, v in
+                        sorted(point.server_opts.items())},
+    }
+
+
+def suite_fingerprint(suite: BenchSuite) -> str:
+    """Hash of every point's configuration (order-sensitive)."""
+    payload = json.dumps([point_config(p) for p in suite.points],
+                         sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def point_label(point: BenchmarkPoint) -> str:
+    """Stable human/machine key for one point within a suite."""
+    return f"{point.server}@{point.rate:g}/{point.inactive}"
+
+
+# ---------------------------------------------------------------------------
+# running
+# ---------------------------------------------------------------------------
+
+def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
+              on_point: Optional[Callable[[Dict[str, Any]], None]] = None
+              ) -> Dict[str, Any]:
+    """Run every point of a suite and return the artifact dict.
+
+    ``on_point`` (if given) is called with each point's artifact entry
+    as it completes -- the CLI uses it for progress lines.
+    """
+    if isinstance(suite, str):
+        try:
+            suite = SUITES[suite]
+        except KeyError:
+            raise ValueError(f"unknown suite {suite!r}; choose from "
+                             f"{sorted(SUITES)}") from None
+    suite_t0 = time.perf_counter()
+    points = []
+    for point in suite.points:
+        t0 = time.perf_counter()
+        result = run_point(replace(point, profile=True, trace=trace))
+        entry = point_record(result)
+        entry["label"] = point_label(point)
+        entry["wall_clock_s"] = round(time.perf_counter() - t0, 3)
+        entry["profile"] = result.profiler.report().as_dict()
+        points.append(entry)
+        if on_point is not None:
+            on_point(entry)
+    return {
+        "artifact_version": ARTIFACT_VERSION,
+        "record_version": RECORD_VERSION,
+        "suite": suite.name,
+        "description": suite.description,
+        "fingerprint": suite_fingerprint(suite),
+        "created_unix": round(time.time(), 3),
+        "wall_clock_s": round(time.perf_counter() - suite_t0, 3),
+        "points": points,
+    }
+
+
+# ---------------------------------------------------------------------------
+# artifact I/O
+# ---------------------------------------------------------------------------
+
+def dump_artifact(artifact: Dict[str, Any], path: str) -> None:
+    """Write a BENCH artifact as pretty-printed, key-sorted JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Read a BENCH artifact (version-checked, like figure records)."""
+    with open(path, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    version = artifact.get("artifact_version")
+    if not isinstance(version, int) or not 1 <= version <= ARTIFACT_VERSION:
+        raise ValueError(f"unsupported artifact version {version!r} "
+                         f"(this build reads 1..{ARTIFACT_VERSION})")
+    return artifact

@@ -16,11 +16,19 @@ benchmark or test can turn on to see inside the simulator:
   microsecond to a (subsystem, operation) pair, giving a scalene-style
   per-layer breakdown (copyin/copyout vs driver callbacks vs wait-queue
   vs RT-signal queueing vs userspace).
+* :mod:`repro.obs.latency` -- a streaming log-bucket (HDR-style)
+  quantile histogram; every benchmark point reports p50/p90/p99/p99.9
+  connection and request-service latency through it.
+* :mod:`repro.obs.flame` -- collapses the span ring and the profiler
+  table into folded-stack lines (flamegraph.pl / speedscope input) and
+  renders a terminal-only ASCII flame view.
 
 Everything is off by default and costs one attribute check per call site
 when disabled, so benchmark numbers are unaffected.
 """
 
+from .flame import ascii_flame, collapse_profile, collapse_spans, folded_stacks, write_folded
+from .latency import LatencyHistogram
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Tally
 from .profiler import CpuProfiler, ProfileReport, split_category
 from .spans import NULL_TRACER, Span, SpanTracer, TraceRecord, Tracer
@@ -30,6 +38,7 @@ __all__ = [
     "CpuProfiler",
     "Gauge",
     "Histogram",
+    "LatencyHistogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "ProfileReport",
@@ -38,5 +47,10 @@ __all__ = [
     "Tally",
     "TraceRecord",
     "Tracer",
+    "ascii_flame",
+    "collapse_profile",
+    "collapse_spans",
+    "folded_stacks",
     "split_category",
+    "write_folded",
 ]

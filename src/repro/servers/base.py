@@ -21,6 +21,7 @@ from ..kernel.constants import (
 )
 from ..kernel.syscalls import SyscallInterface
 from ..kernel.task import Task
+from ..obs.latency import LatencyHistogram
 from ..sim.process import Process, spawn
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -153,6 +154,11 @@ class BaseServer:
             rtsig_max=self.config.rtsig_max)
         self.sys = SyscallInterface(self.task)
         self.stats = ServerStats()
+        #: server-side service time (accept -> response written), in ms;
+        #: always on (one log-bucket increment per response) so the
+        #: telemetry artifacts carry server latency percentiles even
+        #: when span tracing is off
+        self.request_latency = LatencyHistogram()
         self.conns: Dict[int, Connection] = {}
         self.listen_fd: int = -1
         self.running = False
@@ -275,6 +281,8 @@ class BaseServer:
             conn.outbuf = conn.outbuf[sent:]
             self.stats.bytes_sent += sent
         self.stats.responses += 1
+        self.request_latency.record(
+            (self.kernel.sim.now - conn.accepted_at) * 1000.0)
         if conn.span is not None:
             self.kernel.span_end(conn.span, outcome="responded")
             conn.span = None

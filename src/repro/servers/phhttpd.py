@@ -61,6 +61,7 @@ class _PollSibling(ThttpdServer):
     def __init__(self, parent: "PhhttpdServer", handoff_fd: int):
         BaseServer.__init__(self, parent.kernel, parent.site, parent.config)
         self.stats = parent.stats  # one combined scoreboard
+        self.request_latency = parent.request_latency
         self.parent = parent
         self.handoff_fd = handoff_fd
         self.took_over = False

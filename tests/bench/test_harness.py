@@ -42,9 +42,10 @@ def test_point_result_row_keys():
     result = run_point(small_point())
     row = result.row()
     assert set(row) == {"rate", "avg", "min", "max", "stddev",
-                        "errors_pct", "median_ms"}
+                        "errors_pct", "median_ms", "p99_ms"}
     assert row["rate"] == 100
     assert not math.isnan(row["median_ms"])
+    assert row["p99_ms"] >= row["median_ms"]
 
 
 def test_server_opts_forwarded():

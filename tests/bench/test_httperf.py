@@ -200,3 +200,41 @@ def test_reply_rate_samples_exposed(testbed):
     assert len(result.reply_rate_samples) == 3
     assert sum(result.reply_rate_samples) == pytest.approx(
         result.reply_rate.avg * 3, rel=1e-6)
+
+
+def test_latency_hist_tracks_sample_set(testbed):
+    """The streaming histogram and the exact sample set see the same
+    replies; quantiles agree within the bucket's relative error."""
+    start_server(testbed)
+    result = run_client(testbed, rate=150, duration=2.0)
+    hist = result.latency_hist
+    assert hist.count == len(result.conn_time_ms) == result.replies_ok
+    for q in (0.5, 0.9, 0.99):
+        assert hist.quantile(q) == pytest.approx(
+            result.conn_time_ms.quantile(q), rel=0.10)
+    pct = result.latency_percentiles_ms()
+    assert pct["count"] == result.replies_ok
+    assert pct["p50"] <= pct["p99.9"]
+
+
+def test_latency_percentiles_none_before_any_reply(testbed):
+    result = run_client(testbed, rate=20, duration=0.5)  # no server
+    assert result.latency_percentiles_ms() is None
+
+
+def test_partial_summary_public_safety_net(testbed):
+    """The harness's cut-off path reads a public partial summary (not
+    the client's private reply window)."""
+    start_server(testbed)
+    client = HttperfClient(testbed, HttperfConfig(rate=100, duration=2.0))
+    client.start()
+    # advance only half the run: the generator is still mid-flight
+    testbed.sim.run(until=testbed.sim.now + 1.0)
+    assert not client.done.triggered
+    partial = client.partial_summary()
+    assert partial.avg == pytest.approx(100, rel=0.5)
+    # finishing the run must still produce the real summary
+    while not client.done.triggered and testbed.sim.now < 30:
+        testbed.sim.run(until=testbed.sim.now + 0.25)
+    assert client.done.triggered
+    assert client.result.reply_rate.samples == 2

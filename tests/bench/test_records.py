@@ -7,6 +7,7 @@ import pytest
 from repro.bench.figures import fig05
 from repro.bench.harness import BenchmarkPoint, run_point
 from repro.bench.records import (
+    RECORD_VERSION,
     compare_series,
     dump_figure_record,
     figure_record,
@@ -43,11 +44,45 @@ def test_figure_record_roundtrip(figure, tmp_path):
     assert loaded["sweeps"]["thttpd-devpoll"]["points"][0]["rate"] == 150
 
 
+def test_point_record_is_reproducible():
+    """Every config field needed to re-run the point is archived."""
+    point = BenchmarkPoint(server="thttpd", rate=120, inactive=3,
+                           duration=1.2, seed=7, num_conns=None,
+                           client_fd_limit=2048, drain=0.5,
+                           document_bytes=1024)
+    record = point_record(run_point(point))
+    assert record["num_conns"] is None
+    assert record["client_fd_limit"] == 2048
+    assert record["drain"] == 0.5
+    assert record["document_bytes"] == 1024
+    assert record["document_sizes"] is None
+    assert record["inactive_reconnects"] >= 0
+    pct = record["latency_percentiles"]
+    assert pct["p50"] <= pct["p90"] <= pct["p99"] <= pct["p99.9"]
+    assert record["server_latency_percentiles"]["count"] \
+        == record["server_stats"]["responses"]
+
+
 def test_load_rejects_wrong_version(tmp_path):
     path = tmp_path / "bad.json"
-    path.write_text(json.dumps({"record_version": 99}))
+    path.write_text(json.dumps({"record_version": RECORD_VERSION + 1}))
     with pytest.raises(ValueError):
         load_figure_record(str(path))
+    path.write_text(json.dumps({"record_version": "1"}))
+    with pytest.raises(ValueError):
+        load_figure_record(str(path))
+
+
+def test_load_accepts_older_versions(tmp_path):
+    """v1 records (pre-reproducibility fields) still load; new keys are
+    simply absent, per the migration note on RECORD_VERSION."""
+    path = tmp_path / "v1.json"
+    path.write_text(json.dumps({
+        "record_version": 1, "figure_id": "fig05", "title": "t",
+        "x_rates": [150], "series": {"Average": [149.0]}, "sweeps": {}}))
+    record = load_figure_record(str(path))
+    assert record["figure_id"] == "fig05"
+    assert "latency_percentiles" not in record.get("sweeps", {})
 
 
 def test_compare_series_agreement(figure):
@@ -68,3 +103,36 @@ def test_compare_series_mismatched_figures(figure):
     record = figure_record(figure)
     other = dict(record, figure_id="fig06")
     assert "different figures" in compare_series(record, other)
+
+
+def make_record(x_rates, averages):
+    return {"figure_id": "figX", "x_rates": list(x_rates),
+            "series": {"Average": list(averages)}}
+
+
+def test_compare_series_aligns_on_rates_not_positions():
+    """A shifted grid must not silently compare mismatched points: the
+    old zip-based diff would line 600@600 against 500's value."""
+    old = make_record([500, 600, 700], [100.0, 200.0, 300.0])
+    new = make_record([600, 700], [200.0, 300.0])
+    message = compare_series(old, new)
+    assert message is not None
+    assert "missing in new: rates 500" in message
+    # the shared rates agree, so no per-rate value mismatch is reported
+    assert "600" not in message.replace("rates 500", "")
+
+
+def test_compare_series_reports_extra_rates():
+    old = make_record([500], [100.0])
+    new = make_record([500, 800], [100.0, 50.0])
+    message = compare_series(old, new)
+    assert "extra in new: rates 800" in message
+
+
+def test_compare_series_shared_rate_drift_still_detected():
+    old = make_record([500, 700], [100.0, 300.0])
+    new = make_record([700, 900], [150.0, 400.0])
+    message = compare_series(old, new)
+    assert "rate 700: 300.0 vs 150.0" in message
+    assert "missing in new: rates 500" in message
+    assert "extra in new: rates 900" in message

@@ -1,0 +1,97 @@
+"""Tests for named suites and canonical BENCH artifacts."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BenchmarkPoint
+from repro.bench.suites import (
+    ARTIFACT_VERSION,
+    SUITES,
+    BenchSuite,
+    dump_artifact,
+    load_artifact,
+    point_label,
+    run_suite,
+    suite_fingerprint,
+)
+
+TINY = BenchSuite(
+    "tiny", "one fast point for tests",
+    (BenchmarkPoint(server="thttpd-devpoll", rate=120.0, inactive=5,
+                    duration=1.2, seed=2),))
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return run_suite(TINY)
+
+
+def test_registry_has_smoke_suite():
+    assert "smoke" in SUITES
+    assert SUITES["smoke"].points  # non-empty, CI depends on it
+    # every registered suite uses only known servers
+    from repro.bench.harness import SERVER_KINDS
+    for suite in SUITES.values():
+        for point in suite.points:
+            assert point.server in SERVER_KINDS
+
+
+def test_fingerprint_deterministic_and_config_sensitive():
+    fp = suite_fingerprint(TINY)
+    assert fp == suite_fingerprint(TINY)
+    changed = BenchSuite("tiny", TINY.description, (
+        BenchmarkPoint(server="thttpd-devpoll", rate=130.0, inactive=5,
+                       duration=1.2, seed=2),))
+    assert suite_fingerprint(changed) != fp
+
+
+def test_point_label():
+    assert point_label(TINY.points[0]) == "thttpd-devpoll@120/5"
+
+
+def test_artifact_shape(artifact):
+    assert artifact["artifact_version"] == ARTIFACT_VERSION
+    assert artifact["suite"] == "tiny"
+    assert artifact["fingerprint"] == suite_fingerprint(TINY)
+    assert artifact["wall_clock_s"] > 0
+    json.dumps(artifact)  # fully JSON-serializable
+    (entry,) = artifact["points"]
+    assert entry["label"] == "thttpd-devpoll@120/5"
+    assert entry["wall_clock_s"] > 0
+    # the schema the regression gate relies on
+    pct = entry["latency_percentiles"]
+    assert pct["count"] == entry["replies_ok"]
+    assert pct["p50"] <= pct["p90"] <= pct["p99"] <= pct["p99.9"]
+    assert entry["server_latency_percentiles"]["count"] > 0
+    assert entry["profile"]["total_cpu_seconds"] > 0
+    assert any(row["subsystem"] == "devpoll"
+               for row in entry["profile"]["rows"])
+
+
+def test_artifact_roundtrip(artifact, tmp_path):
+    path = tmp_path / "BENCH_tiny.json"
+    dump_artifact(artifact, str(path))
+    loaded = load_artifact(str(path))
+    assert loaded == json.loads(json.dumps(artifact))
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"artifact_version": ARTIFACT_VERSION + 1}))
+    with pytest.raises(ValueError):
+        load_artifact(str(path))
+    path.write_text(json.dumps({"artifact_version": "x"}))
+    with pytest.raises(ValueError):
+        load_artifact(str(path))
+
+
+def test_run_suite_unknown_name():
+    with pytest.raises(ValueError):
+        run_suite("no-such-suite")
+
+
+def test_on_point_progress_callback():
+    seen = []
+    run_suite(TINY, on_point=seen.append)
+    assert [e["label"] for e in seen] == ["thttpd-devpoll@120/5"]

@@ -1,0 +1,158 @@
+"""Tests for the streaming log-bucket latency histogram."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.latency import LatencyHistogram
+
+
+def test_exact_bookkeeping():
+    hist = LatencyHistogram()
+    for v in (1.0, 2.0, 3.0, 10.0):
+        hist.record(v)
+    assert len(hist) == 4
+    assert hist.min() == 1.0
+    assert hist.max() == 10.0
+    assert hist.mean() == pytest.approx(4.0)
+    assert hist.sum == pytest.approx(16.0)
+
+
+def test_empty_histogram_raises():
+    hist = LatencyHistogram()
+    assert len(hist) == 0
+    assert hist.summary() is None
+    with pytest.raises(ValueError):
+        hist.quantile(0.5)
+    with pytest.raises(ValueError):
+        hist.min()
+
+
+def test_quantile_bounds_and_edges():
+    hist = LatencyHistogram()
+    for v in range(1, 101):
+        hist.record(float(v))
+    assert hist.quantile(0.0) == 1.0
+    assert hist.quantile(1.0) == 100.0
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    with pytest.raises(ValueError):
+        hist.quantile(-0.1)
+
+
+def test_quantiles_against_uniform_distribution():
+    rng = random.Random(17)
+    hist = LatencyHistogram()
+    for _ in range(20000):
+        hist.record(rng.uniform(0.0, 1000.0))
+    # bucket relative error at 32/decade is ~7.5 %; allow 10 %
+    assert hist.quantile(0.50) == pytest.approx(500.0, rel=0.10)
+    assert hist.quantile(0.90) == pytest.approx(900.0, rel=0.10)
+    assert hist.quantile(0.99) == pytest.approx(990.0, rel=0.10)
+
+
+def test_quantiles_against_exponential_distribution():
+    rng = random.Random(5)
+    mean = 20.0
+    hist = LatencyHistogram()
+    for _ in range(50000):
+        hist.record(rng.expovariate(1.0 / mean))
+    # quantile of Exp(1/mean) is -mean * ln(1 - q)
+    for q in (0.5, 0.9, 0.99, 0.999):
+        expected = -mean * math.log(1.0 - q)
+        assert hist.quantile(q) == pytest.approx(expected, rel=0.12), q
+
+
+def test_quantiles_monotonic():
+    rng = random.Random(3)
+    hist = LatencyHistogram()
+    for _ in range(5000):
+        hist.record(rng.lognormvariate(1.0, 1.5))
+    qs = [hist.quantile(q / 100.0) for q in range(0, 101, 5)]
+    assert qs == sorted(qs)
+
+
+def test_underflow_and_overflow_are_counted():
+    hist = LatencyHistogram(min_value=1e-3, max_value=1e5)
+    hist.record(1e-9)   # below the first bound
+    hist.record(1e12)   # above the last bound
+    assert len(hist) == 2
+    assert hist.min() == 1e-9
+    assert hist.max() == 1e12
+    assert hist.quantile(0.0) == 1e-9
+    assert hist.quantile(1.0) == 1e12
+
+
+def test_percentile_report_shape():
+    hist = LatencyHistogram()
+    for v in range(1, 1001):
+        hist.record(float(v))
+    summary = hist.summary()
+    assert set(summary) == {"count", "min", "mean", "max",
+                            "p50", "p90", "p99", "p99.9"}
+    assert summary["count"] == 1000
+    assert summary["p50"] <= summary["p90"] <= summary["p99"] \
+        <= summary["p99.9"] <= summary["max"]
+
+
+def test_merge_equals_combined_stream():
+    rng = random.Random(9)
+    values = [rng.uniform(0.1, 500.0) for _ in range(4000)]
+    combined = LatencyHistogram()
+    a, b = LatencyHistogram(), LatencyHistogram()
+    for i, v in enumerate(values):
+        combined.record(v)
+        (a if i % 2 else b).record(v)
+    a.merge(b)
+    assert a.count == combined.count
+    assert a.counts == combined.counts
+    assert a.quantile(0.99) == pytest.approx(combined.quantile(0.99))
+
+
+def test_merge_rejects_different_geometry():
+    a = LatencyHistogram(buckets_per_decade=32)
+    b = LatencyHistogram(buckets_per_decade=16)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_dict_roundtrip_preserves_quantiles():
+    rng = random.Random(11)
+    hist = LatencyHistogram()
+    for _ in range(3000):
+        hist.record(rng.expovariate(0.05))
+    clone = LatencyHistogram.from_dict(hist.as_dict())
+    assert clone.count == hist.count
+    assert clone.counts == hist.counts
+    assert clone.min() == hist.min()
+    assert clone.max() == hist.max()
+    for q in (0.5, 0.9, 0.99):
+        assert clone.quantile(q) == hist.quantile(q)
+
+
+def test_dict_roundtrip_through_json():
+    import json
+
+    hist = LatencyHistogram()
+    hist.record(3.5)
+    data = json.loads(json.dumps(hist.as_dict()))
+    clone = LatencyHistogram.from_dict(data)
+    assert clone.quantile(0.5) == pytest.approx(3.5, rel=0.08)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_value=10.0, max_value=1.0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(buckets_per_decade=0)
+
+
+def test_weighted_record():
+    hist = LatencyHistogram()
+    hist.record(5.0, n=10)
+    assert len(hist) == 10
+    assert hist.sum == pytest.approx(50.0)
+    assert hist.quantile(0.5) == pytest.approx(5.0, rel=0.08)

@@ -81,3 +81,86 @@ def test_figures_single(capsys):
     out = capsys.readouterr().out
     assert "fig05" in out
     assert "req rate" in out
+
+
+def test_flame_command(tmp_path, capsys):
+    folded = tmp_path / "stacks.folded"
+    assert main(["flame", "thttpd-devpoll", "120", "5",
+                 "--duration", "1.0", "--out", str(folded)]) == 0
+    out = capsys.readouterr().out
+    assert "flame (self time)" in out
+    assert "measure" in out
+    assert f"folded stacks -> {folded}" in out
+    lines = folded.read_text().splitlines()
+    assert lines
+    for line in lines:
+        path, _, weight = line.rpartition(" ")
+        assert path and int(weight) > 0
+
+
+def test_flame_unknown_server_exits_2(capsys):
+    assert main(["flame", "nope", "100", "1"]) == 2
+    assert "unknown server" in capsys.readouterr().err
+
+
+def test_bench_list(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "smoke" in out
+    assert "points" in out
+
+
+def test_bench_unknown_suite_exits_2(capsys):
+    assert main(["bench", "--suite", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown suite" in err
+    assert "smoke" in err
+
+
+def test_bench_and_compare_end_to_end(tmp_path, capsys):
+    """The acceptance path: bench writes a schema-versioned artifact
+    with latency percentiles + profiler attribution for every point;
+    self-compare exits 0; a degraded reply rate exits nonzero."""
+    import json
+
+    artifact_path = tmp_path / "BENCH_smoke.json"
+    assert main(["bench", "--suite", "smoke",
+                 "--out", str(artifact_path)]) == 0
+    out = capsys.readouterr().out
+    assert "artifact ->" in out
+    artifact = json.loads(artifact_path.read_text())
+    assert artifact["artifact_version"] == 1
+    assert artifact["suite"] == "smoke"
+    for entry in artifact["points"]:
+        pct = entry["latency_percentiles"]
+        for key in ("p50", "p90", "p99", "p99.9"):
+            assert pct[key] > 0
+        assert entry["profile"]["rows"]
+
+    assert main(["compare", str(artifact_path), str(artifact_path)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+    degraded = json.loads(artifact_path.read_text())
+    degraded["points"][0]["reply_rate"]["avg"] *= 0.5
+    degraded_path = tmp_path / "BENCH_degraded.json"
+    degraded_path.write_text(json.dumps(degraded))
+    assert main(["compare", str(artifact_path), str(degraded_path)]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_compare_unreadable_artifact_exits_2(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["compare", str(missing), str(missing)]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    assert main(["compare", str(bad), str(bad)]) == 2
+    assert "version" in capsys.readouterr().err
+
+
+def test_info_mentions_bench(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "suites" in out
+    assert "smoke" in out

@@ -14,6 +14,13 @@ Subcommands:
                                    canonical ``BENCH_<suite>.json``
 * ``compare OLD NEW``           -- diff two BENCH artifacts; exits
                                    nonzero on regression (the CI gate)
+* ``selfperf``                  -- measure the harness's own speed
+                                   (simulator events per host second)
+
+``bench`` and ``figures`` accept ``--jobs N`` to fan independent
+benchmark points across worker processes; every point is a seeded,
+self-contained simulation, so the records are byte-identical to a
+serial run (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -191,7 +198,14 @@ def cmd_bench(args) -> int:
         return 2
     out = args.out if args.out is not None else f"BENCH_{args.suite}.json"
 
+    # Progress lines run only here, in the parent: under --jobs N the
+    # workers ship results back and this single callback prints them as
+    # they complete, so lines never interleave mid-write.
     def progress(entry):
+        if entry.get("failed"):
+            print(f"  {entry['label']}: FAILED after {entry['attempts']} "
+                  f"attempt(s): {entry['error']}", flush=True)
+            return
         pct = entry.get("latency_percentiles") or {}
         p99 = pct.get("p99")
         line = (f"  {entry['label']}: {entry['reply_rate']['avg']:.1f} "
@@ -200,15 +214,22 @@ def cmd_bench(args) -> int:
             line += f", p99 {p99:.2f} ms"
         print(line + f" [{entry['wall_clock_s']:.1f}s]", flush=True)
 
-    print(f"suite {args.suite} ({len(SUITES[args.suite].points)} points):")
-    artifact = run_suite(args.suite, trace=args.trace, on_point=progress)
+    print(f"suite {args.suite} ({len(SUITES[args.suite].points)} points, "
+          f"jobs={args.jobs}):")
+    artifact = run_suite(args.suite, trace=args.trace, on_point=progress,
+                         jobs=args.jobs)
     try:
         dump_artifact(artifact, out)
     except OSError as err:
         print(f"repro: cannot write {out}: {err.strerror}", file=sys.stderr)
         return 1
+    failed = sum(1 for p in artifact["points"] if p.get("failed"))
     print(f"artifact -> {out} (fingerprint {artifact['fingerprint']}, "
           f"{artifact['wall_clock_s']:.1f}s wall clock)")
+    if failed:
+        print(f"repro: {failed} point(s) failed; see the artifact",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -231,6 +252,25 @@ def cmd_compare(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_selfperf(args) -> int:
+    """Measure harness speed: simulator events per host second."""
+    from repro.bench.selfperf import run_selfperf
+
+    block = run_selfperf(include_point=not args.engine_only)
+    for name, data in block.items():
+        print(f"{name}: {data['events_processed']} events in "
+              f"{data['sim_wall_seconds']:.3f}s host = "
+              f"{data['events_per_second']:,.0f} events/s")
+        if name == "engine_churn":
+            print(f"  heap compactions {data['heap_compactions']}, "
+                  f"cancelled purged {data['cancelled_purged']}")
+    if args.json is not None:
+        if not _write_json(args.json, block):
+            return 1
+        print(f"selfperf -> {args.json}")
+    return 0
+
+
 def cmd_figures(args) -> int:
     """Regenerate the requested figures at CLI-chosen scale."""
     from repro.bench.figures import ALL_FIGURES
@@ -248,7 +288,7 @@ def cmd_figures(args) -> int:
             return 1
         figure = ALL_FIGURES[fig_id](rates=tuple(args.rates),
                                      duration=args.duration, seed=args.seed,
-                                     base_point=base_point)
+                                     base_point=base_point, jobs=args.jobs)
         print(figure.render())
         print()
         if args.profile_out is not None:
@@ -317,6 +357,9 @@ def main(argv=None) -> int:
                          help="artifact path (default BENCH_<suite>.json)")
     p_bench.add_argument("--trace", action="store_true",
                          help="run every point with span tracing on")
+    p_bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="run points across N worker processes "
+                              "(default 1: serial, in-process)")
     p_bench.add_argument("--list", action="store_true",
                          help="list available suites and exit")
 
@@ -342,8 +385,18 @@ def main(argv=None) -> int:
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--trace", action="store_true",
                        help="run every point with span tracing on")
+    p_fig.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run each sweep's points across N worker "
+                            "processes (default 1: serial)")
     p_fig.add_argument("--profile-out", metavar="FILE",
                        help="profile every point; write all reports as JSON")
+
+    p_perf = sub.add_parser(
+        "selfperf", help="measure harness speed (events per host second)")
+    p_perf.add_argument("--engine-only", action="store_true",
+                        help="skip the end-to-end point workload")
+    p_perf.add_argument("--json", metavar="FILE",
+                        help="also write the block as JSON")
 
     args = parser.parse_args(argv)
     if args.command == "point":
@@ -358,6 +411,8 @@ def main(argv=None) -> int:
         return cmd_compare(args)
     if args.command == "figures":
         return cmd_figures(args)
+    if args.command == "selfperf":
+        return cmd_selfperf(args)
     return cmd_info(args)
 
 

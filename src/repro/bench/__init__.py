@@ -16,13 +16,27 @@ from .harness import (
 )
 from .httperf import HttperfClient, HttperfConfig, HttperfResult
 from .inactive import InactiveConnectionPool, InactivePoolConfig
+from .parallel import (
+    PointOutcome,
+    PointPayload,
+    PortablePointResult,
+    failed_point_result,
+    run_points,
+)
 from .records import (
     RECORD_VERSION,
+    WALL_CLOCK_FIELDS,
     dump_figure_record,
     figure_record,
     load_figure_record,
     point_record,
     sweep_record,
+)
+from .selfperf import (
+    SelfPerfResult,
+    run_engine_churn,
+    run_point_workload,
+    run_selfperf,
 )
 from .regression import ComparisonReport, MetricDelta, Tolerances, compare_artifacts
 from .reporting import (ascii_histogram, ascii_plot, format_table,
@@ -75,8 +89,18 @@ __all__ = [
     "InactivePoolConfig",
     "PAPER_LOADS",
     "PAPER_RATES",
+    "PointOutcome",
+    "PointPayload",
     "PointResult",
+    "PortablePointResult",
     "QUICK_RATES",
+    "SelfPerfResult",
+    "WALL_CLOCK_FIELDS",
+    "failed_point_result",
+    "run_engine_churn",
+    "run_point_workload",
+    "run_points",
+    "run_selfperf",
     "SERVER_HOST",
     "SERVER_KINDS",
     "SERVER_PORT",

@@ -34,28 +34,55 @@ def measure_capacity(server: str, inactive: int = 1,
                      tolerance: float = 50.0, duration: float = 4.0,
                      seed: int = 0,
                      server_opts: Optional[Dict[str, Any]] = None,
-                     sustain_fraction: float = 0.95) -> CapacityEstimate:
+                     sustain_fraction: float = 0.95,
+                     jobs: int = 1) -> CapacityEstimate:
     """Bisect for the highest offered rate the server still sustains.
 
     A rate is "sustained" when the measured average reply rate reaches
     ``sustain_fraction`` of it with under 2% errors.  Returns the knee
     estimate plus every probe taken.
+
+    The bisection itself is inherently sequential (each probe depends
+    on the last), but with ``jobs > 1`` the two bracket probes run
+    concurrently; both always appear in ``probes``, so a parallel run
+    takes one extra ``high`` probe when ``low`` is already unsustained.
     """
     probes: List[Tuple[float, float]] = []
 
-    def sustained(rate: float) -> bool:
-        result = run_point(BenchmarkPoint(
-            server=server, rate=rate, inactive=inactive,
-            duration=duration, seed=seed,
-            server_opts=dict(server_opts or {})))
+    def judge(result) -> bool:
+        rate = result.point.rate
         probes.append((rate, result.reply_rate.avg))
         return (result.reply_rate.avg >= sustain_fraction * rate
                 and result.error_percent < 2.0)
 
-    if not sustained(low):
-        return CapacityEstimate(server, inactive, 0.0, probes)
-    if sustained(high):
-        return CapacityEstimate(server, inactive, high, probes)
+    def make_point(rate: float) -> BenchmarkPoint:
+        return BenchmarkPoint(
+            server=server, rate=rate, inactive=inactive,
+            duration=duration, seed=seed,
+            server_opts=dict(server_opts or {}))
+
+    def sustained(rate: float) -> bool:
+        return judge(run_point(make_point(rate)))
+
+    if jobs > 1:
+        from .parallel import run_points
+
+        outcomes = run_points([make_point(low), make_point(high)], jobs=jobs)
+        if any(not o.ok for o in outcomes):
+            raise RuntimeError(
+                "capacity bracket probe failed: "
+                + "; ".join(o.error for o in outcomes if not o.ok))
+        low_ok = judge(outcomes[0].result)
+        high_ok = judge(outcomes[1].result)
+        if not low_ok:
+            return CapacityEstimate(server, inactive, 0.0, probes)
+        if high_ok:
+            return CapacityEstimate(server, inactive, high, probes)
+    else:
+        if not sustained(low):
+            return CapacityEstimate(server, inactive, 0.0, probes)
+        if sustained(high):
+            return CapacityEstimate(server, inactive, high, probes)
     lo, hi = low, high
     while hi - lo > tolerance:
         mid = (lo + hi) / 2.0

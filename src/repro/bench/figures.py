@@ -43,10 +43,11 @@ def _reply_rate_figure(figure_id: str, title: str, server: str,
                        inactive: int, rates: Sequence[float],
                        duration: float, seed: int,
                        server_opts: Optional[dict] = None,
-                       base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+                       base_point: Optional[BenchmarkPoint] = None,
+                       jobs: int = 1) -> FigureResult:
     sweep = run_rate_sweep(server, inactive, rates=rates, duration=duration,
                            seed=seed, server_opts=server_opts,
-                           base_point=base_point)
+                           base_point=base_point, jobs=jobs)
     xs = sweep.rates()
     series = {
         "Average": sweep.series("avg"),
@@ -66,56 +67,62 @@ def _reply_rate_figure(figure_id: str, title: str, server: str,
 
 def fig04(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 4: stock thttpd with normal poll(), 1 inactive connection."""
     return _reply_rate_figure(
         "fig04", "stock thttpd, normal poll(), load 1",
-        "thttpd", 1, rates, duration, seed, base_point=base_point)
+        "thttpd", 1, rates, duration, seed, base_point=base_point, jobs=jobs)
 
 
 def fig05(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 5: thttpd using /dev/poll, 1 inactive connection."""
     return _reply_rate_figure(
         "fig05", "thttpd using /dev/poll, load 1",
-        "thttpd-devpoll", 1, rates, duration, seed, base_point=base_point)
+        "thttpd-devpoll", 1, rates, duration, seed, base_point=base_point, jobs=jobs)
 
 
 def fig06(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 6: stock thttpd with normal poll(), 251 inactive."""
     return _reply_rate_figure(
         "fig06", "stock thttpd, normal poll(), load 251",
-        "thttpd", 251, rates, duration, seed, base_point=base_point)
+        "thttpd", 251, rates, duration, seed, base_point=base_point, jobs=jobs)
 
 
 def fig07(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 7: thttpd using /dev/poll, 251 inactive."""
     return _reply_rate_figure(
         "fig07", "thttpd using /dev/poll, load 251",
-        "thttpd-devpoll", 251, rates, duration, seed, base_point=base_point)
+        "thttpd-devpoll", 251, rates, duration, seed, base_point=base_point, jobs=jobs)
 
 
 def fig08(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 8: stock thttpd with normal poll(), 501 inactive."""
     return _reply_rate_figure(
         "fig08", "stock thttpd, normal poll(), load 501",
-        "thttpd", 501, rates, duration, seed, base_point=base_point)
+        "thttpd", 501, rates, duration, seed, base_point=base_point, jobs=jobs)
 
 
 def fig09(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 9: thttpd using /dev/poll, 501 inactive."""
     return _reply_rate_figure(
         "fig09", "thttpd using /dev/poll, load 501",
-        "thttpd-devpoll", 501, rates, duration, seed, base_point=base_point)
+        "thttpd-devpoll", 501, rates, duration, seed, base_point=base_point, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -124,7 +131,8 @@ def fig09(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
 
 def fig10(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0, loads: Sequence[int] = (251, 501),
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 10: connection-error percentage, poll vs /dev/poll."""
     series: Dict[str, List[float]] = {}
     sweeps: Dict[str, SweepResult] = {}
@@ -135,7 +143,7 @@ def fig10(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
                               ("thttpd", "normal poll")):
             sweep = run_rate_sweep(server, load, rates=rates,
                                    duration=duration, seed=seed,
-                                   base_point=base_point)
+                                   base_point=base_point, jobs=jobs)
             key = f"{label}, load {load}"
             series[key] = sweep.series("errors_pct")
             sweeps[key] = sweep
@@ -153,29 +161,32 @@ def fig10(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
 
 def fig11(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 11: phhttpd (RT signals), 1 inactive connection."""
     return _reply_rate_figure(
         "fig11", "phhttpd (RT signals), load 1",
-        "phhttpd", 1, rates, duration, seed, base_point=base_point)
+        "phhttpd", 1, rates, duration, seed, base_point=base_point, jobs=jobs)
 
 
 def fig12(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 12: phhttpd (RT signals), 251 inactive."""
     return _reply_rate_figure(
         "fig12", "phhttpd (RT signals), load 251",
-        "phhttpd", 251, rates, duration, seed, base_point=base_point)
+        "phhttpd", 251, rates, duration, seed, base_point=base_point, jobs=jobs)
 
 
 def fig13(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 13: phhttpd (RT signals), 501 inactive."""
     return _reply_rate_figure(
         "fig13", "phhttpd (RT signals), load 501",
-        "phhttpd", 501, rates, duration, seed, base_point=base_point)
+        "phhttpd", 501, rates, duration, seed, base_point=base_point, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -184,7 +195,8 @@ def fig13(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
 
 def fig14(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0, inactive: int = 251,
-          base_point: Optional[BenchmarkPoint] = None) -> FigureResult:
+          base_point: Optional[BenchmarkPoint] = None,
+          jobs: int = 1) -> FigureResult:
     """Figure 14: median connection time, devpoll/poll/phhttpd."""
     series: Dict[str, List[float]] = {}
     sweeps: Dict[str, SweepResult] = {}
@@ -194,7 +206,7 @@ def fig14(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
                           ("phhttpd", "phhttpd")):
         sweep = run_rate_sweep(server, inactive, rates=rates,
                                duration=duration, seed=seed,
-                               base_point=base_point)
+                               base_point=base_point, jobs=jobs)
         series[label] = sweep.series("median_ms")
         sweeps[label] = sweep
         for p in sweep.points:

@@ -8,12 +8,16 @@ point → sweep → figure.  `examples/paper_figures.py --json` writes these;
 
 from __future__ import annotations
 
+import copy
 import json
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
-from .figures import FigureResult
 from .harness import PointResult
-from .sweeps import SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports; a
+    # runtime import would cycle through figures -> sweeps -> parallel
+    from .figures import FigureResult
+    from .sweeps import SweepResult
 
 #: Version history:
 #:
@@ -28,9 +32,26 @@ from .sweeps import SweepResult
 #:      "unknown", not as the defaults.
 RECORD_VERSION = 2
 
+#: Per-point artifact keys that measure the *host*, not the simulation:
+#: they differ run-to-run and between serial and parallel execution, so
+#: the determinism contract (`docs/performance.md`) and the regression
+#: gate's tolerance checks both exclude them.
+WALL_CLOCK_FIELDS = ("wall_clock_s", "sim_wall_seconds",
+                     "events_per_second")
+
 
 def point_record(result: PointResult) -> Dict[str, Any]:
-    """Flatten one benchmark point to JSON-compatible data."""
+    """Flatten one benchmark point to JSON-compatible data.
+
+    Results that crossed a process boundary
+    (:class:`~repro.bench.parallel.PortablePointResult`) already carry
+    the record their worker computed; it is returned as a copy,
+    verbatim, so the parallel path is byte-identical to the serial one
+    by construction.
+    """
+    precomputed = getattr(result, "record", None)
+    if precomputed is not None:
+        return copy.deepcopy(precomputed)
     point = result.point
     record = {
         "server": point.server,

@@ -15,8 +15,16 @@ tolerances:
 * ``cpu_utilization`` may not rise by more than an absolute tolerance.
 
 Structural problems -- different suites, different config fingerprints,
-points present on only one side -- are not "deltas" at all: the runs
-measured different experiments, so the comparison itself fails.
+points present on only one side, points that *failed* to run -- are not
+"deltas" at all: the runs measured different experiments (or nothing),
+so the comparison itself fails.
+
+Only simulated measurements are gated.  The wall-clock/host fields an
+artifact carries (``wall_clock_s``, ``sim_wall_seconds``,
+``events_per_second`` -- see
+:data:`repro.bench.records.WALL_CLOCK_FIELDS` -- plus the ``selfperf``
+block) are machine-dependent telemetry and take no part in the
+tolerance checks.
 """
 
 from __future__ import annotations
@@ -126,6 +134,13 @@ def compare_artifacts(old: Dict[str, Any], new: Dict[str, Any],
     for label, a in old_points.items():
         b = new_points.get(label)
         if b is None:
+            continue
+        failed = [side for side, entry in (("old", a), ("new", b))
+                  if entry.get("failed")]
+        if failed:
+            report.problems.append(
+                f"point {label} failed to run in {' and '.join(failed)} "
+                f"artifact(s)")
             continue
         a_rr, b_rr = a["reply_rate"]["avg"], b["reply_rate"]["avg"]
         report.deltas.append(MetricDelta(

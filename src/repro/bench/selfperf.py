@@ -1,0 +1,130 @@
+"""Harness self-measurement: how fast does the simulator itself run?
+
+The reproduction's claims are about *simulated* CPU seconds, but the
+harness's usefulness is bounded by *host* seconds -- a suite that takes
+minutes to run does not get run.  This module measures the simulator's
+own throughput (events per host second) on two fixed, seeded workloads
+and reports the numbers that ``BENCH_<suite>.json`` artifacts embed as
+their ``selfperf`` block, so the perf trajectory tracks harness speed
+alongside the simulated measurements:
+
+* ``engine_churn`` -- pure :class:`~repro.sim.engine.Simulator` work:
+  schedule a large batch of timers, cancel a sizeable fraction (the
+  idle-sweep pattern that used to leak heap entries until pop), run
+  the calendar dry.  Exercises the heap, lazy deletion, and the
+  compaction path, with no kernel or network on top.
+* ``point`` -- one tiny end-to-end benchmark point (thttpd at a low
+  rate), measuring the whole stack: kernel, TCP, server, client.
+
+Everything *simulated* about these workloads (event counts, purge
+counts) is deterministic; only the host-seconds and derived
+events-per-second figures vary by machine.  The wall-clock fields are
+named in :data:`repro.bench.records.WALL_CLOCK_FIELDS` and excluded
+from determinism checks and the regression gate.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..sim.engine import Simulator
+
+#: engine-churn workload shape (fixed: changing it changes the
+#: deterministic event counts embedded in artifacts)
+CHURN_TIMERS = 20000
+CHURN_CANCEL_FRACTION = 0.6
+CHURN_SEED = 1234
+
+#: the end-to-end workload: small enough to add well under a second
+POINT_SERVER = "thttpd"
+POINT_RATE = 100.0
+POINT_DURATION = 1.0
+
+
+@dataclass
+class SelfPerfResult:
+    """One workload's throughput measurement."""
+
+    workload: str
+    events_processed: int        # deterministic
+    sim_wall_seconds: float      # host seconds (machine-dependent)
+    events_per_second: float     # derived, machine-dependent
+    detail: Dict[str, Any]       # workload-specific extras
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "events_processed": self.events_processed,
+            "sim_wall_seconds": round(self.sim_wall_seconds, 4),
+            "events_per_second": round(self.events_per_second, 1),
+            **self.detail,
+        }
+
+
+def _throughput(events: int, wall: float) -> float:
+    return events / wall if wall > 0 else 0.0
+
+
+def run_engine_churn(n_timers: int = CHURN_TIMERS,
+                     cancel_fraction: float = CHURN_CANCEL_FRACTION,
+                     seed: int = CHURN_SEED) -> SelfPerfResult:
+    """Timer churn: schedule, cancel a fraction, drain the calendar."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    t0 = time.perf_counter()
+    timers = [sim.schedule(rng.uniform(0.0, 100.0), _noop)
+              for _ in range(n_timers)]
+    cancel = rng.sample(range(n_timers), int(n_timers * cancel_fraction))
+    for i in cancel:
+        timers[i].cancel()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return SelfPerfResult(
+        workload="engine_churn",
+        events_processed=sim.events_processed,
+        sim_wall_seconds=wall,
+        events_per_second=_throughput(sim.events_processed, wall),
+        detail={
+            "timers_scheduled": n_timers,
+            "timers_cancelled": len(cancel),
+            "heap_compactions": sim.compactions,
+            "cancelled_purged": sim.cancelled_purged,
+        })
+
+
+def run_point_workload(server: str = POINT_SERVER, rate: float = POINT_RATE,
+                       duration: float = POINT_DURATION) -> SelfPerfResult:
+    """One tiny end-to-end point: the full simulation stack's speed."""
+    from .harness import BenchmarkPoint, run_point
+
+    t0 = time.perf_counter()
+    result = run_point(BenchmarkPoint(server=server, rate=rate, inactive=1,
+                                      duration=duration))
+    wall = time.perf_counter() - t0
+    events = result.testbed.sim.events_processed
+    return SelfPerfResult(
+        workload="point",
+        events_processed=events,
+        sim_wall_seconds=wall,
+        events_per_second=_throughput(events, wall),
+        detail={
+            "server": server,
+            "rate": rate,
+            "duration": duration,
+            "replies_ok": result.httperf.replies_ok,
+        })
+
+
+def run_selfperf(include_point: bool = True) -> Dict[str, Any]:
+    """The artifact's ``selfperf`` block: every workload, as plain data."""
+    results = [run_engine_churn()]
+    if include_point:
+        results.append(run_point_workload())
+    return {r.workload: r.as_dict() for r in results}
+
+
+def _noop() -> None:
+    pass

@@ -11,10 +11,12 @@ travels in the artifact so ``repro compare`` can refuse to diff runs of
 different experiments (the telemetry-pipeline equivalent of the paper's
 "same testbed, same workload" discipline).
 
-Everything in the artifact except ``created_unix``/``wall_clock_s`` is
-a function of the (seeded, simulated) configuration, so two runs of the
-same suite on any machine produce byte-identical measurements --
-which is what makes a checked-in baseline meaningful.
+Everything in the artifact except the wall-clock/host fields
+(``created_unix``, ``jobs``, ``selfperf``, and the per-point
+:data:`~repro.bench.records.WALL_CLOCK_FIELDS`) is a function of the
+(seeded, simulated) configuration, so two runs of the same suite on any
+machine -- serial or with ``jobs=N`` -- produce byte-identical
+measurements, which is what makes a checked-in baseline meaningful.
 """
 
 from __future__ import annotations
@@ -23,14 +25,21 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from .harness import BenchmarkPoint, run_point
+from .harness import BenchmarkPoint
+from .parallel import PointOutcome, run_points
 from .records import RECORD_VERSION, point_record
 from .sweeps import QUICK_RATES
 
 #: bump when the artifact's shape changes; readers accept <= this
-ARTIFACT_VERSION = 1
+#:
+#: 2 -- adds ``jobs`` and the harness-speed numbers: a top-level
+#:      ``selfperf`` block (engine micro-benchmark) plus per-point
+#:      ``sim_events``/``sim_wall_seconds``/``events_per_second``;
+#:      failed points appear as ``{"failed": true, "error": ...}``
+#:      entries instead of aborting the run.
+ARTIFACT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -125,13 +134,45 @@ def point_label(point: BenchmarkPoint) -> str:
 # running
 # ---------------------------------------------------------------------------
 
+def _outcome_entry(outcome: PointOutcome) -> Dict[str, Any]:
+    """One point's artifact entry (success or failure)."""
+    if outcome.ok:
+        entry = point_record(outcome.result)
+        profiler = getattr(outcome.result, "profiler", None)
+        if profiler is not None:
+            entry["profile"] = profiler.report().as_dict()
+    else:
+        entry = {
+            "failed": True,
+            "error": outcome.error or "unknown error",
+            "attempts": outcome.attempts,
+            "server": outcome.point.server,
+            "rate": outcome.point.rate,
+            "inactive": outcome.point.inactive,
+        }
+    entry["label"] = point_label(outcome.point)
+    entry["wall_clock_s"] = round(outcome.wall_clock_s, 3)
+    entry["sim_events"] = outcome.sim_events
+    entry["sim_wall_seconds"] = round(outcome.sim_wall_seconds, 3)
+    entry["events_per_second"] = round(outcome.events_per_second, 1)
+    return entry
+
+
 def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
-              on_point: Optional[Callable[[Dict[str, Any]], None]] = None
-              ) -> Dict[str, Any]:
+              on_point: Optional[Callable[[Dict[str, Any]], None]] = None,
+              jobs: int = 1, selfperf: bool = True) -> Dict[str, Any]:
     """Run every point of a suite and return the artifact dict.
 
     ``on_point`` (if given) is called with each point's artifact entry
-    as it completes -- the CLI uses it for progress lines.
+    as it completes -- the CLI uses it for progress lines.  It runs
+    only in the parent process; under ``jobs > 1`` entries arrive in
+    completion order while the artifact's ``points`` list stays in
+    suite order.  A point that crashes (after one retry) becomes a
+    ``{"failed": true}`` entry instead of aborting the suite.
+
+    ``selfperf`` appends the harness-speed micro-benchmark block (see
+    :mod:`repro.bench.selfperf`); disable it for tests that only need
+    the measurement records.
     """
     if isinstance(suite, str):
         try:
@@ -140,18 +181,19 @@ def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
             raise ValueError(f"unknown suite {suite!r}; choose from "
                              f"{sorted(SUITES)}") from None
     suite_t0 = time.perf_counter()
-    points = []
-    for point in suite.points:
-        t0 = time.perf_counter()
-        result = run_point(replace(point, profile=True, trace=trace))
-        entry = point_record(result)
-        entry["label"] = point_label(point)
-        entry["wall_clock_s"] = round(time.perf_counter() - t0, 3)
-        entry["profile"] = result.profiler.report().as_dict()
-        points.append(entry)
+    run_specs = [replace(point, profile=True, trace=trace)
+                 for point in suite.points]
+    entries: Dict[int, Dict[str, Any]] = {}
+
+    def settle(outcome: PointOutcome) -> None:
+        entry = _outcome_entry(outcome)
+        entries[outcome.index] = entry
         if on_point is not None:
             on_point(entry)
-    return {
+
+    run_points(run_specs, jobs=jobs, on_result=settle)
+    points: List[Dict[str, Any]] = [entries[i] for i in range(len(run_specs))]
+    artifact = {
         "artifact_version": ARTIFACT_VERSION,
         "record_version": RECORD_VERSION,
         "suite": suite.name,
@@ -159,8 +201,14 @@ def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
         "fingerprint": suite_fingerprint(suite),
         "created_unix": round(time.time(), 3),
         "wall_clock_s": round(time.perf_counter() - suite_t0, 3),
+        "jobs": max(1, jobs),
         "points": points,
     }
+    if selfperf:
+        from .selfperf import run_selfperf
+
+        artifact["selfperf"] = run_selfperf()
+    return artifact
 
 
 # ---------------------------------------------------------------------------

@@ -8,9 +8,9 @@ server.  ``PAPER_RATES`` is that x-axis; CI-scale runs use a thinner one.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from .harness import BenchmarkPoint, PointResult, run_point
+from .harness import BenchmarkPoint, PointResult
 
 #: the x-axis of figures 4-14
 PAPER_RATES: Sequence[float] = (500, 600, 700, 800, 900, 1000, 1100)
@@ -42,12 +42,26 @@ def run_rate_sweep(server: str, inactive: int,
                    duration: float = 10.0,
                    seed: int = 0,
                    server_opts: Optional[Dict[str, Any]] = None,
-                   base_point: Optional[BenchmarkPoint] = None) -> SweepResult:
-    """Run the full rate sweep for one (server, inactive-load) pair."""
+                   base_point: Optional[BenchmarkPoint] = None,
+                   jobs: int = 1,
+                   on_point: Optional[Callable[[Any], None]] = None
+                   ) -> SweepResult:
+    """Run the full rate sweep for one (server, inactive-load) pair.
+
+    ``jobs > 1`` fans the points across worker processes (each point is
+    a self-contained seeded simulation, so results are byte-identical
+    to the serial path).  A point that crashes is retried once and then
+    kept as a *failed placeholder* (NaN measurements, the error in its
+    record) so one bad point cannot kill the whole sweep.  ``on_point``
+    fires in the parent as each point settles (completion order under
+    parallelism).
+    """
+    # imported here: records/figures also import this module at load time
+    from .parallel import failed_point_result, run_points
+
     template = base_point if base_point is not None else BenchmarkPoint()
-    points = []
-    for rate in rates:
-        point = replace(
+    points = [
+        replace(
             template,
             server=server,
             rate=float(rate),
@@ -56,5 +70,10 @@ def run_rate_sweep(server: str, inactive: int,
             seed=seed,
             server_opts=dict(server_opts or {}),
         )
-        points.append(run_point(point))
-    return SweepResult(server=server, inactive=inactive, points=points)
+        for rate in rates
+    ]
+    outcomes = run_points(points, jobs=jobs, on_result=on_point)
+    return SweepResult(
+        server=server, inactive=inactive,
+        points=[o.result if o.ok else failed_point_result(o)
+                for o in outcomes])

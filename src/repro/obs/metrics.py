@@ -195,12 +195,20 @@ class Tally:
                  prefix: str = ""):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.prefix = prefix
+        # key -> Counter cache: ``inc`` sits on the syscall-entry hot
+        # path, so repeat increments must not pay the name join and the
+        # registry's create-or-check lookup every time.
+        self._counters: Dict[str, Counter] = {}
 
     def _name(self, key: str) -> str:
         return f"{self.prefix}.{key}" if self.prefix else key
 
     def inc(self, key: str, by: int = 1) -> None:
-        self.registry.counter(self._name(key)).inc(by)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self.registry.counter(self._name(key))
+            self._counters[key] = counter
+        counter.inc(by)
 
     def get(self, key: str) -> int:
         metric = self.registry.get(self._name(key))

@@ -102,6 +102,24 @@ class ProfileReport:
                 for r in self.rows],
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProfileReport":
+        """Rebuild a report from :meth:`as_dict` output.
+
+        The parallel point runner profiles inside worker processes and
+        ships the report across the process boundary as plain data;
+        this restores the full object (render, roll-ups) in the parent.
+        ``as_dict`` -> ``from_dict`` -> ``as_dict`` is the identity.
+        """
+        rows = [
+            ProfileRow(subsystem=str(r["subsystem"]),
+                       operation=str(r["operation"]),
+                       seconds=float(r["cpu_seconds"]),
+                       share=float(r["share"]),
+                       samples=int(r["samples"]))
+            for r in data.get("rows", [])]
+        return cls(rows=rows, total=float(data["total_cpu_seconds"]))
+
     def render(self, top: Optional[int] = None,
                title: str = "simulated-CPU attribution") -> str:
         """Fixed-width terminal table, largest consumer first.

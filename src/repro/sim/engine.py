@@ -27,21 +27,31 @@ class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
     A cancelled timer stays in the heap (removal from a binary heap is
-    O(n)) but its callback is skipped when it pops.
+    O(n)) but its callback is skipped when it pops.  The simulator
+    tracks how many armed entries have been cancelled this way and
+    compacts the heap wholesale once dead entries dominate, so
+    cancel-heavy workloads (idle-timeout sweeps re-arming per I/O) do
+    not accumulate garbage until pop.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
+    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_cancel()
 
     def __lt__(self, other: "Timer") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -111,12 +121,23 @@ class Simulator:
         sim.run(until=10.0)
     """
 
+    #: compaction kicks in only for heaps at least this large ...
+    COMPACT_MIN_HEAP = 256
+    #: ... whose entries are more than this fraction cancelled
+    COMPACT_FRACTION = 0.5
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Timer] = []
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
+        #: cancelled timers still sitting in the heap (lazy deletion)
+        self._cancelled_pending: int = 0
+        #: times the calendar was rebuilt to shed cancelled entries
+        self.compactions: int = 0
+        #: cancelled entries discarded by compaction (not by popping)
+        self.cancelled_purged: int = 0
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -134,7 +155,7 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self.now}"
             )
         self._seq += 1
-        timer = Timer(time, self._seq, fn, args)
+        timer = Timer(time, self._seq, fn, args, self)
         heapq.heappush(self._heap, timer)
         return timer
 
@@ -160,9 +181,13 @@ class Simulator:
         while self._heap:
             timer = heapq.heappop(self._heap)
             if timer.cancelled:
+                self._cancelled_pending -= 1
                 continue
             if timer.time < self.now:  # pragma: no cover - defensive
                 raise SimulationError("calendar went backwards")
+            # detach so a cancel() after firing cannot skew the
+            # cancelled-pending count (the timer has left the heap)
+            timer.sim = None
             self.now = timer.time
             self.events_processed += 1
             timer.fn(*timer.args)
@@ -195,7 +220,33 @@ class Simulator:
         """Time of the next armed timer, or None if the calendar is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_pending -= 1
         return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------
+    # lazy-deletion compaction
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Timer.cancel` for a timer still in the heap."""
+        self._cancelled_pending += 1
+        if (len(self._heap) >= self.COMPACT_MIN_HEAP
+                and self._cancelled_pending
+                > self.COMPACT_FRACTION * len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries (O(n))."""
+        before = len(self._heap)
+        self._heap = [t for t in self._heap if not t.cancelled]
+        heapq.heapify(self._heap)
+        self.cancelled_purged += before - len(self._heap)
+        self._cancelled_pending = 0
+        self.compactions += 1
+
+    @property
+    def pending(self) -> int:
+        """Armed (non-cancelled) timers still in the calendar."""
+        return len(self._heap) - self._cancelled_pending
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"

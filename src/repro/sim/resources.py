@@ -74,8 +74,14 @@ class CPU:
         if priority not in self._queues:
             raise SimulationError(f"unknown CPU priority {priority}")
         done = self.sim.event(f"{self.name}.grant")
-        if breakdown is not None and self.speed != 1.0:
-            breakdown = tuple((op, s / self.speed) for op, s in breakdown)
+        # Fast path: with no profiler attached the breakdown can never
+        # be read, so drop it here instead of speed-scaling and carrying
+        # it through the queue on every grant.
+        if breakdown is not None:
+            if self.profiler is None:
+                breakdown = None
+            elif self.speed != 1.0:
+                breakdown = tuple((op, s / self.speed) for op, s in breakdown)
         self._queues[priority].append(
             (done, duration / self.speed, category, breakdown))
         if not self._busy:

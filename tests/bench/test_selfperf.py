@@ -1,0 +1,69 @@
+"""Tests for the harness self-measurement micro-benchmark."""
+
+import json
+
+from repro.bench.selfperf import (
+    run_engine_churn,
+    run_point_workload,
+    run_selfperf,
+)
+from repro.bench.suites import BenchSuite, run_suite
+from repro.bench.harness import BenchmarkPoint
+
+
+def test_engine_churn_measures_throughput():
+    result = run_engine_churn(n_timers=2000)
+    assert result.workload == "engine_churn"
+    assert result.events_processed == 2000 - result.detail["timers_cancelled"]
+    assert result.sim_wall_seconds > 0
+    assert result.events_per_second > 0
+    json.dumps(result.as_dict())
+
+
+def test_engine_churn_simulated_work_is_deterministic():
+    a = run_engine_churn(n_timers=4000)
+    b = run_engine_churn(n_timers=4000)
+    # host seconds differ; everything simulated must not
+    assert a.events_processed == b.events_processed
+    assert a.detail["timers_cancelled"] == b.detail["timers_cancelled"]
+    assert a.detail["heap_compactions"] == b.detail["heap_compactions"]
+    assert a.detail["cancelled_purged"] == b.detail["cancelled_purged"]
+
+
+def test_engine_churn_exercises_compaction():
+    detail = run_engine_churn().detail
+    assert detail["heap_compactions"] >= 1
+    assert detail["cancelled_purged"] > 0
+
+
+def test_point_workload_reports_full_stack_numbers():
+    result = run_point_workload(duration=0.5)
+    assert result.workload == "point"
+    assert result.events_processed > 0
+    assert result.detail["replies_ok"] > 0
+    assert result.events_per_second > 0
+
+
+def test_run_selfperf_block_shape():
+    block = run_selfperf(include_point=False)
+    assert set(block) == {"engine_churn"}
+    churn = block["engine_churn"]
+    for key in ("events_processed", "sim_wall_seconds", "events_per_second",
+                "heap_compactions"):
+        assert key in churn
+    json.dumps(block)
+
+
+def test_suite_artifact_embeds_selfperf():
+    suite = BenchSuite(
+        "tiny-perf", "one fast point",
+        (BenchmarkPoint(server="thttpd", rate=100.0, inactive=1,
+                        duration=0.5),))
+    artifact = run_suite(suite)
+    assert "selfperf" in artifact
+    assert artifact["selfperf"]["engine_churn"]["events_per_second"] > 0
+    assert artifact["selfperf"]["point"]["events_per_second"] > 0
+    (entry,) = artifact["points"]
+    assert entry["sim_events"] > 0
+    assert entry["sim_wall_seconds"] > 0
+    assert entry["events_per_second"] > 0

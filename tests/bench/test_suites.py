@@ -55,6 +55,8 @@ def test_artifact_shape(artifact):
     assert artifact["suite"] == "tiny"
     assert artifact["fingerprint"] == suite_fingerprint(TINY)
     assert artifact["wall_clock_s"] > 0
+    assert artifact["jobs"] == 1
+    assert artifact["selfperf"]["engine_churn"]["events_per_second"] > 0
     json.dumps(artifact)  # fully JSON-serializable
     (entry,) = artifact["points"]
     assert entry["label"] == "thttpd-devpoll@120/5"
@@ -67,6 +69,10 @@ def test_artifact_shape(artifact):
     assert entry["profile"]["total_cpu_seconds"] > 0
     assert any(row["subsystem"] == "devpoll"
                for row in entry["profile"]["rows"])
+    # harness-speed telemetry (wall-clock fields, excluded from the gate)
+    assert entry["sim_events"] > 0
+    assert entry["sim_wall_seconds"] > 0
+    assert entry["events_per_second"] > 0
 
 
 def test_artifact_roundtrip(artifact, tmp_path):

@@ -136,6 +136,81 @@ def test_events_processed_counter():
 
 
 # ---------------------------------------------------------------------------
+# lazy-deletion compaction
+# ---------------------------------------------------------------------------
+
+def test_small_heaps_never_compact():
+    sim = Simulator()
+    timers = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for t in timers:
+        t.cancel()
+    assert sim.compactions == 0
+    assert sim.pending == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_compaction_sheds_cancelled_entries():
+    sim = Simulator()
+    n = Simulator.COMPACT_MIN_HEAP * 4
+    timers = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(n)]
+    cancel = timers[::2] + timers[1::4]  # 75% of the heap
+    for t in cancel:
+        t.cancel()
+    assert sim.compactions >= 1
+    assert len(sim._heap) < n  # garbage did not wait for pop
+    assert sim.pending == n - len(cancel)
+    assert sim.cancelled_purged > 0
+    sim.run()
+    assert sim.events_processed == n - len(cancel)
+
+
+def test_compaction_preserves_order_and_results(monkeypatch):
+    """The compacted calendar fires the same callbacks in the same
+    order as a never-compacted one."""
+    def run_with(min_heap):
+        monkeypatch.setattr(Simulator, "COMPACT_MIN_HEAP", min_heap)
+        sim = Simulator()
+        order = []
+        timers = [sim.schedule((i * 7919) % 1000 * 1e-3, order.append, i)
+                  for i in range(512)]
+        for t in timers[::3] + timers[1::3]:
+            t.cancel()
+        sim.run()
+        return order, sim.events_processed, sim.compactions
+
+    base_order, base_events, base_compactions = run_with(10 ** 9)
+    lazy_order, lazy_events, lazy_compactions = run_with(64)
+    assert base_compactions == 0
+    assert lazy_compactions >= 1
+    assert lazy_order == base_order
+    assert lazy_events == base_events
+
+
+def test_cancel_after_fire_does_not_skew_accounting():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run(until=1.5)
+    keep.cancel()  # already fired; must be a harmless no-op
+    assert sim._cancelled_pending == 0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_pending_property_tracks_armed_timers():
+    sim = Simulator()
+    timers = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    timers[0].cancel()
+    timers[3].cancel()
+    assert sim.pending == 3
+    sim.run()
+    assert sim.pending == 0
+
+
+# ---------------------------------------------------------------------------
 # Event
 # ---------------------------------------------------------------------------
 

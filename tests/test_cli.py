@@ -129,13 +129,18 @@ def test_bench_and_compare_end_to_end(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "artifact ->" in out
     artifact = json.loads(artifact_path.read_text())
-    assert artifact["artifact_version"] == 1
+    from repro.bench.suites import ARTIFACT_VERSION
+    assert artifact["artifact_version"] == ARTIFACT_VERSION
     assert artifact["suite"] == "smoke"
+    assert artifact["jobs"] == 1
+    assert artifact["selfperf"]["engine_churn"]["events_per_second"] > 0
     for entry in artifact["points"]:
         pct = entry["latency_percentiles"]
         for key in ("p50", "p90", "p99", "p99.9"):
             assert pct[key] > 0
         assert entry["profile"]["rows"]
+        assert entry["sim_events"] > 0
+        assert entry["events_per_second"] > 0
 
     assert main(["compare", str(artifact_path), str(artifact_path)]) == 0
     assert "no regressions" in capsys.readouterr().out

@@ -13,7 +13,7 @@ longer-lived descriptors, a bigger scanned set, and earlier saturation,
 while /dev/poll's cost tracks only *ready* descriptors.
 """
 
-from repro.bench import BenchmarkPoint, format_table, run_point
+from repro.bench import BenchmarkPoint, format_table
 
 SIZES = (1024, 6 * 1024, 24 * 1024, 64 * 1024)
 RATE = 400.0

@@ -7,7 +7,7 @@ next to the pytest-benchmark timing row.
 
 import pytest
 
-from repro.bench import BenchmarkPoint, format_table, run_point
+from repro.bench import BenchmarkPoint, format_table
 from repro.core.devpoll import DevPollConfig
 
 from conftest import BENCH_DURATION

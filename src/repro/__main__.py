@@ -53,6 +53,17 @@ def _check_server(kind: str) -> bool:
     return False
 
 
+def _check_backend(name) -> bool:
+    """Validate an event-backend name (None is always fine)."""
+    from repro.bench.harness import BACKEND_TO_KIND
+
+    if name is None or name in BACKEND_TO_KIND:
+        return True
+    print(f"repro: unknown backend {name!r}; choose from "
+          f"{', '.join(sorted(BACKEND_TO_KIND))}", file=sys.stderr)
+    return False
+
+
 def cmd_info(_args) -> int:
     """Print package, server, figure, and suite inventory."""
     import repro
@@ -78,14 +89,16 @@ def cmd_point(args) -> int:
     """Run one benchmark point and print its headline numbers."""
     from repro.bench import BenchmarkPoint, run_point
 
-    if not _check_server(args.server):
+    if not _check_server(args.server) or not _check_backend(args.backend):
         return 2
     result = run_point(BenchmarkPoint(
-        server=args.server, rate=args.rate, inactive=args.inactive,
-        duration=args.duration, seed=args.seed,
+        server=args.server, backend=args.backend, rate=args.rate,
+        inactive=args.inactive, duration=args.duration, seed=args.seed,
         trace=args.trace is not None, profile=args.profile_out is not None))
     rr = result.reply_rate
-    print(f"{args.server} @ {args.rate:.0f}/s, {args.inactive} inactive, "
+    shown = (f"{args.server} [{args.backend}]" if args.backend
+             else args.server)
+    print(f"{shown} @ {args.rate:.0f}/s, {args.inactive} inactive, "
           f"{args.duration:.0f}s:")
     print(f"  replies/s avg {rr.avg:.1f}  min {rr.min:.1f}  max {rr.max:.1f}"
           f"  stddev {rr.stddev:.1f}")
@@ -121,7 +134,7 @@ def cmd_profile(args) -> int:
     from repro.bench import BenchmarkPoint, run_point
     from repro.bench.reporting import attribution_table
 
-    if not _check_server(args.server):
+    if not _check_server(args.server) or not _check_backend(args.backend):
         return 2
     server_opts = {}
     if args.no_hints:
@@ -133,12 +146,14 @@ def cmd_profile(args) -> int:
 
         server_opts["devpoll"] = DevPollConfig(use_hints=False)
     result = run_point(BenchmarkPoint(
-        server=args.server, rate=args.rate, inactive=args.inactive,
-        duration=args.duration, seed=args.seed, profile=True,
-        server_opts=server_opts))
+        server=args.server, backend=args.backend, rate=args.rate,
+        inactive=args.inactive, duration=args.duration, seed=args.seed,
+        profile=True, server_opts=server_opts))
     report = result.profiler.report()
     rr = result.reply_rate
-    title = (f"{args.server} @ {args.rate:.0f}/s, {args.inactive} inactive"
+    shown = (f"{args.server} [{args.backend}]" if args.backend
+             else args.server)
+    title = (f"{shown} @ {args.rate:.0f}/s, {args.inactive} inactive"
              f"{', hints off' if args.no_hints else ''}: "
              f"{rr.avg:.1f} replies/s, cpu "
              f"{100 * result.cpu_utilization:.0f}%")
@@ -155,11 +170,12 @@ def cmd_flame(args) -> int:
     from repro.bench import BenchmarkPoint, run_point
     from repro.obs.flame import ascii_flame, folded_stacks, write_folded
 
-    if not _check_server(args.server):
+    if not _check_server(args.server) or not _check_backend(args.backend):
         return 2
     result = run_point(BenchmarkPoint(
-        server=args.server, rate=args.rate, inactive=args.inactive,
-        duration=args.duration, seed=args.seed, trace=True, profile=True))
+        server=args.server, backend=args.backend, rate=args.rate,
+        inactive=args.inactive, duration=args.duration, seed=args.seed,
+        trace=True, profile=True))
     lines = folded_stacks(result.testbed.tracer, result.profiler)
     # Write the file before printing: `repro flame ... --out F | head`
     # must not lose F to a broken pipe.
@@ -196,7 +212,14 @@ def cmd_bench(args) -> int:
         print(f"repro: unknown suite {args.suite!r}; choose from "
               f"{', '.join(sorted(SUITES))}", file=sys.stderr)
         return 2
-    out = args.out if args.out is not None else f"BENCH_{args.suite}.json"
+    if not _check_backend(args.backend):
+        return 2
+    if args.out is not None:
+        out = args.out
+    elif args.backend is not None:
+        out = f"BENCH_{args.suite}_{args.backend}.json"
+    else:
+        out = f"BENCH_{args.suite}.json"
 
     # Progress lines run only here, in the parent: under --jobs N the
     # workers ship results back and this single callback prints them as
@@ -214,10 +237,11 @@ def cmd_bench(args) -> int:
             line += f", p99 {p99:.2f} ms"
         print(line + f" [{entry['wall_clock_s']:.1f}s]", flush=True)
 
+    leg = f", backend={args.backend}" if args.backend else ""
     print(f"suite {args.suite} ({len(SUITES[args.suite].points)} points, "
-          f"jobs={args.jobs}):")
+          f"jobs={args.jobs}{leg}):")
     artifact = run_suite(args.suite, trace=args.trace, on_point=progress,
-                         jobs=args.jobs)
+                         jobs=args.jobs, backend=args.backend)
     try:
         dump_artifact(artifact, out)
     except OSError as err:
@@ -276,11 +300,17 @@ def cmd_figures(args) -> int:
     from repro.bench.figures import ALL_FIGURES
     from repro.bench.harness import BenchmarkPoint
 
+    if not _check_backend(args.backend):
+        return 2
     wanted = args.ids or sorted(ALL_FIGURES)
     base_point = None
-    if args.trace or args.profile_out is not None:
+    if args.trace or args.profile_out is not None or args.backend is not None:
+        # backend rides on the template point: run_rate_sweep's replace()
+        # touches server/rate/..., so the pin survives into every point
+        # and run_point retargets each one onto the backend's kind.
         base_point = BenchmarkPoint(trace=args.trace,
-                                    profile=args.profile_out is not None)
+                                    profile=args.profile_out is not None,
+                                    backend=args.backend)
     profiles = {}
     for fig_id in wanted:
         if fig_id not in ALL_FIGURES:
@@ -318,6 +348,9 @@ def main(argv=None) -> int:
     p_point.add_argument("inactive", type=int)
     p_point.add_argument("--duration", type=float, default=5.0)
     p_point.add_argument("--seed", type=int, default=0)
+    p_point.add_argument("--backend", metavar="NAME",
+                         help="pin an event backend (select, poll, "
+                              "devpoll, rtsig, epoll); overrides SERVER")
     p_point.add_argument("--trace", metavar="FILE",
                          help="export the run's span trace as JSONL")
     p_point.add_argument("--profile-out", metavar="FILE",
@@ -330,6 +363,8 @@ def main(argv=None) -> int:
     p_prof.add_argument("inactive", type=int)
     p_prof.add_argument("--duration", type=float, default=5.0)
     p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--backend", metavar="NAME",
+                        help="pin an event backend; overrides SERVER")
     p_prof.add_argument("--top", type=int, default=0,
                         help="show only the top N rows (0 = all)")
     p_prof.add_argument("--no-hints", action="store_true",
@@ -344,6 +379,8 @@ def main(argv=None) -> int:
     p_flame.add_argument("inactive", type=int)
     p_flame.add_argument("--duration", type=float, default=5.0)
     p_flame.add_argument("--seed", type=int, default=0)
+    p_flame.add_argument("--backend", metavar="NAME",
+                         help="pin an event backend; overrides SERVER")
     p_flame.add_argument("--width", type=int, default=40,
                          help="bar width of the ASCII view")
     p_flame.add_argument("--out", metavar="FILE",
@@ -355,6 +392,9 @@ def main(argv=None) -> int:
     p_bench.add_argument("--suite", default="smoke")
     p_bench.add_argument("--out", metavar="FILE",
                          help="artifact path (default BENCH_<suite>.json)")
+    p_bench.add_argument("--backend", metavar="NAME",
+                         help="retarget every point onto one event "
+                              "backend (the CI backend matrix)")
     p_bench.add_argument("--trace", action="store_true",
                          help="run every point with span tracing on")
     p_bench.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -383,6 +423,8 @@ def main(argv=None) -> int:
                        default=[500, 800, 1100])
     p_fig.add_argument("--duration", type=float, default=5.0)
     p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--backend", metavar="NAME",
+                       help="run every figure point on one event backend")
     p_fig.add_argument("--trace", action="store_true",
                        help="run every point with span tracing on")
     p_fig.add_argument("--jobs", type=int, default=1, metavar="N",

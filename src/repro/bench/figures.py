@@ -197,13 +197,19 @@ def fig14(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
           seed: int = 0, inactive: int = 251,
           base_point: Optional[BenchmarkPoint] = None,
           jobs: int = 1) -> FigureResult:
-    """Figure 14: median connection time, devpoll/poll/phhttpd."""
+    """Figure 14: median connection time, devpoll/poll/phhttpd.
+
+    Extended beyond the paper with an epoll column -- the mechanism
+    Linux eventually shipped -- so the descendant interface sits on the
+    same axes as the three the authors measured.
+    """
     series: Dict[str, List[float]] = {}
     sweeps: Dict[str, SweepResult] = {}
     rows = []
     for server, label in (("thttpd-devpoll", "devpoll"),
                           ("thttpd", "normal poll"),
-                          ("phhttpd", "phhttpd")):
+                          ("phhttpd", "phhttpd"),
+                          ("thttpd-epoll", "epoll")):
         sweep = run_rate_sweep(server, inactive, rates=rates,
                                duration=duration, seed=seed,
                                base_point=base_point, jobs=jobs)

@@ -20,6 +20,7 @@ from ..servers.phhttpd import PhhttpdConfig, PhhttpdServer
 from ..servers.thttpd import ThttpdServer
 from ..servers.thttpd_select import ThttpdSelectServer
 from ..servers.thttpd_devpoll import DevpollServerConfig, ThttpdDevpollServer
+from ..servers.thttpd_epoll import EpollServerConfig, ThttpdEpollServer
 from ..sim.stats import RateSummary
 from .httperf import HttperfClient, HttperfConfig, HttperfResult
 from .inactive import InactiveConnectionPool, InactivePoolConfig
@@ -30,6 +31,7 @@ SERVER_KINDS: Dict[str, Callable[..., BaseServer]] = {
     "thttpd": ThttpdServer,
     "thttpd-select": ThttpdSelectServer,
     "thttpd-devpoll": ThttpdDevpollServer,
+    "thttpd-epoll": ThttpdEpollServer,
     "phhttpd": PhhttpdServer,
     "hybrid": HybridServer,
 }
@@ -39,8 +41,21 @@ _CONFIG_CLASSES = {
     "thttpd": None,
     "thttpd-select": None,
     "thttpd-devpoll": DevpollServerConfig,
+    "thttpd-epoll": EpollServerConfig,
     "phhttpd": PhhttpdConfig,
     "hybrid": HybridConfig,
+}
+
+#: event-backend name -> the canonical server kind running that backend.
+#: ``BenchmarkPoint.backend`` retargets a point through this table, so
+#: ``--backend epoll`` means "the unified thttpd loop on epoll" without
+#: callers having to know the historical module names.
+BACKEND_TO_KIND: Dict[str, str] = {
+    "poll": "thttpd",
+    "select": "thttpd-select",
+    "devpoll": "thttpd-devpoll",
+    "epoll": "thttpd-epoll",
+    "rtsig": "phhttpd",
 }
 
 
@@ -49,6 +64,11 @@ class BenchmarkPoint:
     """Everything defining one benchmark run (one x-position of a figure)."""
 
     server: str = "thttpd"
+    #: event-backend name (``repro.events``); when set, the point runs on
+    #: the canonical server kind for that backend (``BACKEND_TO_KIND``)
+    #: regardless of ``server``.  ``None`` (the default) keeps the
+    #: historical behaviour -- and the historical record shape.
+    backend: Optional[str] = None
     rate: float = 500.0
     inactive: int = 1
     duration: float = 10.0
@@ -108,6 +128,18 @@ class PointResult:
         }
 
 
+def resolve_kind(point: BenchmarkPoint) -> str:
+    """The server kind a point actually runs (backend-aware)."""
+    if point.backend is None:
+        return point.server
+    try:
+        return BACKEND_TO_KIND[point.backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {point.backend!r}; choose from "
+            f"{sorted(BACKEND_TO_KIND)}") from None
+
+
 def make_server(kind: str, kernel, site: Optional[StaticSite] = None,
                 **opts) -> BaseServer:
     """Instantiate a server by registry name with config kwargs."""
@@ -142,7 +174,8 @@ def run_point(point: BenchmarkPoint) -> PointResult:
         site = StaticSite.single_document(point.document_bytes)
     else:
         site = StaticSite()
-    server = make_server(point.server, testbed.server_kernel, site,
+    kind = resolve_kind(point)
+    server = make_server(kind, testbed.server_kernel, site,
                          **point.server_opts)
     server.start()
     testbed.run(until=testbed.sim.now + 0.1)  # let the listener come up

@@ -99,6 +99,10 @@ def point_record(result: PointResult) -> Dict[str, Any]:
             "loops": result.server_stats.loops,
         },
     }
+    # only present when the point was pinned to an event backend: legacy
+    # records (and their fingerprints) stay byte-identical.
+    if point.backend is not None:
+        record["backend"] = point.backend
     mode = getattr(result.server, "mode", None)
     if mode is not None:
         record["mode"] = mode

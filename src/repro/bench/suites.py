@@ -27,7 +27,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from .harness import BenchmarkPoint
+from .harness import BACKEND_TO_KIND, BenchmarkPoint
 from .parallel import PointOutcome, run_points
 from .records import RECORD_VERSION, point_record
 from .sweeps import QUICK_RATES
@@ -91,6 +91,14 @@ SUITES: Dict[str, BenchSuite] = {
         "three servers x three rates at the paper's 251-inactive load "
         "(minutes of wall clock)",
         _quick_points(duration=5.0)),
+    "backends": BenchSuite(
+        "backends",
+        "one smoke-scale point per event backend (select, poll, devpoll, "
+        "rtsig, epoll) through the unified repro.events API",
+        tuple(
+            BenchmarkPoint(server=BACKEND_TO_KIND[backend], backend=backend,
+                           rate=150.0, inactive=50, duration=1.5)
+            for backend in ("select", "poll", "devpoll", "rtsig", "epoll"))),
 }
 
 
@@ -99,8 +107,13 @@ SUITES: Dict[str, BenchSuite] = {
 # ---------------------------------------------------------------------------
 
 def point_config(point: BenchmarkPoint) -> Dict[str, Any]:
-    """The re-runnable configuration of one point, canonically typed."""
-    return {
+    """The re-runnable configuration of one point, canonically typed.
+
+    The ``backend`` key appears only when the point pins one, so the
+    fingerprints of pre-existing suites (and their checked-in baseline
+    artifacts) are unchanged by the event-backend layer.
+    """
+    config = {
         "server": point.server,
         "rate": point.rate,
         "inactive": point.inactive,
@@ -116,6 +129,9 @@ def point_config(point: BenchmarkPoint) -> Dict[str, Any]:
         "server_opts": {k: repr(v) for k, v in
                         sorted(point.server_opts.items())},
     }
+    if point.backend is not None:
+        config["backend"] = point.backend
+    return config
 
 
 def suite_fingerprint(suite: BenchSuite) -> str:
@@ -160,7 +176,8 @@ def _outcome_entry(outcome: PointOutcome) -> Dict[str, Any]:
 
 def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
               on_point: Optional[Callable[[Dict[str, Any]], None]] = None,
-              jobs: int = 1, selfperf: bool = True) -> Dict[str, Any]:
+              jobs: int = 1, selfperf: bool = True,
+              backend: Optional[str] = None) -> Dict[str, Any]:
     """Run every point of a suite and return the artifact dict.
 
     ``on_point`` (if given) is called with each point's artifact entry
@@ -173,6 +190,12 @@ def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
     ``selfperf`` appends the harness-speed micro-benchmark block (see
     :mod:`repro.bench.selfperf`); disable it for tests that only need
     the measurement records.
+
+    ``backend`` retargets *every* point onto one event backend (the CI
+    backend matrix runs the smoke suite once per backend this way).
+    The retargeted points carry the backend in their configs, so the
+    artifact's fingerprint distinguishes the matrix legs from the
+    untouched suite.
     """
     if isinstance(suite, str):
         try:
@@ -180,6 +203,15 @@ def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
         except KeyError:
             raise ValueError(f"unknown suite {suite!r}; choose from "
                              f"{sorted(SUITES)}") from None
+    if backend is not None:
+        if backend not in BACKEND_TO_KIND:
+            raise ValueError(f"unknown backend {backend!r}; choose from "
+                             f"{sorted(BACKEND_TO_KIND)}")
+        suite = BenchSuite(
+            suite.name, suite.description,
+            tuple(replace(p, server=BACKEND_TO_KIND[backend],
+                          backend=backend)
+                  for p in suite.points))
     suite_t0 = time.perf_counter()
     run_specs = [replace(point, profile=True, trace=trace)
                  for point in suite.points]
@@ -204,6 +236,8 @@ def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
         "jobs": max(1, jobs),
         "points": points,
     }
+    if backend is not None:
+        artifact["backend"] = backend
     if selfperf:
         from .selfperf import run_selfperf
 

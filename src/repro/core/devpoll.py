@@ -306,6 +306,7 @@ class DevPollFile(File):
         self.stats.polls += 1
         tracer = self.kernel.tracer
         span = (tracer.begin(sim.now, "devpoll", "dp_poll",
+                             track=sim.current_process,
                              interests=len(self.interests))
                 if tracer.enabled else None)
         while True:

@@ -25,7 +25,7 @@ class Interest:
     """One (fd -> requested events) entry plus its hint/cache state."""
 
     __slots__ = ("fd", "events", "file", "hinted", "cached_revents",
-                 "listener", "in_ready_cache", "active")
+                 "listener", "in_ready_cache", "active", "close_cb")
 
     def __init__(self, fd: int, events: int, file: "File"):
         self.fd = fd
@@ -41,6 +41,9 @@ class Interest:
         self.listener: Optional[Callable] = None
         #: bookkeeping flag: entry is in the set's ready cache list
         self.in_ready_cache = False
+        #: close-listener closure registered on ``file`` (epoll's
+        #: eager collection of interests whose descriptor closed)
+        self.close_cb: Optional[Callable] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Interest fd={self.fd} ev={self.events:#x} "

@@ -1,0 +1,32 @@
+"""Unified event-notification backends.
+
+The paper's whole argument is a comparison of readiness-notification
+mechanisms; this package gives each mechanism one face.  An
+:class:`~repro.events.base.EventBackend` owns "declare interest in fd /
+wait for readiness" on behalf of a server, so the server loop is written
+once and the mechanism -- ``poll()``, ``select()``, ``/dev/poll``,
+RT signals, or ``epoll`` -- is a constructor argument.
+
+Backends are registered by name in :data:`~repro.events.base.BACKENDS`
+and instantiated with :func:`~repro.events.base.make_backend`.
+"""
+
+from .base import BACKENDS, EventBackend, BackendStats, make_backend
+from .poll_backend import PollBackend
+from .select_backend import SelectBackend
+from .devpoll_backend import DevpollBackend
+from .rtsig_backend import RTSIG_OVERFLOW, RtsigBackend
+from .epoll_backend import EpollBackend
+
+__all__ = [
+    "BACKENDS",
+    "EventBackend",
+    "BackendStats",
+    "make_backend",
+    "PollBackend",
+    "SelectBackend",
+    "DevpollBackend",
+    "RtsigBackend",
+    "RTSIG_OVERFLOW",
+    "EpollBackend",
+]

@@ -1,0 +1,171 @@
+"""The :class:`EventBackend` protocol and the string-keyed registry.
+
+A backend owns one readiness-notification mechanism on behalf of one
+server: the server declares interest (``register``/``modify``/
+``unregister``) and blocks in ``wait``, which returns ``(fd, revents)``
+pairs.  Everything mechanism-specific -- rebuilding a pollfd array,
+staging a ``/dev/poll`` write batch, arming an RT signal, issuing
+``epoll_ctl`` -- lives behind this interface, so the server loop is
+written once (see :class:`repro.servers.thttpd.ThttpdServer`).
+
+All mutating methods are generators (``yield from backend.register(...)``)
+because some mechanisms pay syscalls for interest changes (``epoll_ctl``)
+while others are free at declaration time and pay at ``wait`` (the
+``poll`` backend rebuilds its array every loop).  Backends that do no
+simulated work for an operation simply return without yielding.
+
+Charge-sequence fidelity matters: the four pre-existing backends
+reproduce their legacy server loops' CPU charges *exactly* -- same
+categories, same amounts, same order -- so benchmark records for
+existing seeds are byte-identical to the pre-refactor servers.
+
+``wait`` takes a ``deadline`` (absolute sim time of the next idle
+sweep) rather than a relative timeout because each mechanism computes
+its timeout at a different point in its loop: ``poll``/``select``
+convert after charging the per-fd array build (which advances simulated
+time), ``/dev/poll``/rtsig/epoll convert on entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Type
+
+
+@dataclass
+class BackendStats:
+    """Per-backend operation counts (pure bookkeeping, never charged)."""
+
+    registers: int = 0
+    modifies: int = 0
+    unregisters: int = 0
+    waits: int = 0
+    events: int = 0
+
+
+class EventBackend:
+    """Base class for readiness-notification backends.
+
+    Subclasses set :attr:`name`, implement the generator methods, and
+    are registered via :func:`register_backend` (or the
+    ``@register_backend`` idiom at module bottom).
+    """
+
+    #: registry key; also the metrics/label prefix
+    name = "base"
+    #: ``wait()`` may report an fd whose connection has since changed
+    #: state; backends with ``strict_state_stale`` count such events as
+    #: stale (the ``select`` loop's semantics), others silently skip.
+    strict_state_stale = False
+    #: highest usable fd count, or None when unbounded
+    fd_capacity: Optional[int] = None
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self.stats = BackendStats()
+
+    # -- conveniences over the owning server ---------------------------
+
+    @property
+    def kernel(self):
+        return self.server.kernel
+
+    @property
+    def sim(self):
+        return self.server.kernel.sim
+
+    @property
+    def sys(self):
+        return self.server.sys
+
+    @property
+    def costs(self):
+        return self.server.kernel.costs
+
+    def _count(self, op: str, by: int = 1) -> None:
+        self.kernel.counters.inc(f"events.{self.name}.{op}", by)
+
+    def _deadline_timeout(self, deadline: Optional[float],
+                          timeout: Optional[float]) -> Optional[float]:
+        """Relative timeout from an absolute deadline, clamped at 0."""
+        if timeout is not None or deadline is None:
+            return timeout
+        return max(0.0, deadline - self.sim.now)
+
+    # -- the protocol --------------------------------------------------
+
+    def setup(self) -> Generator:
+        """One-time initialization, after the listener socket exists."""
+        self._count("setups")
+        return
+        yield  # pragma: no cover - marks this as a generator
+
+    def register(self, fd: int, mask: int) -> Generator:
+        """Declare interest in ``fd`` for the events in ``mask``."""
+        raise NotImplementedError
+
+    def modify(self, fd: int, mask: int) -> Generator:
+        """Replace the interest mask of an already-registered ``fd``."""
+        raise NotImplementedError
+
+    def unregister(self, fd: int) -> Generator:
+        """Explicitly withdraw interest in ``fd`` (may cost a syscall)."""
+        self.stats.unregisters += 1
+        self._count("unregisters")
+        self.interest_forget(fd)
+        return
+        yield  # pragma: no cover - marks this as a generator
+
+    def wait(self, max_events: Optional[int] = None,
+             timeout: Optional[float] = None,
+             deadline: Optional[float] = None) -> Generator:
+        """Block until readiness; returns a list of ``(fd, revents)``."""
+        raise NotImplementedError
+
+    def charge_dispatch(self) -> Generator:
+        """Per-delivered-event bookkeeping charge (mechanism-specific).
+
+        The ``poll``/``select`` servers re-scan their whole watch array
+        per handled event (the paper's fdwatch overhead); ready-list
+        mechanisms pay nothing here.
+        """
+        return
+        yield  # pragma: no cover - marks this as a generator
+
+    def interest_forget(self, fd: int) -> None:
+        """Drop local interest state for a closing fd (never charged).
+
+        Called from :meth:`BaseServer.close_conn
+        <repro.servers.base.BaseServer.close_conn>`; mechanisms whose
+        kernel side cleans up on ``close()`` (epoll, RT signals) leave
+        this a no-op.
+        """
+
+    # -- shared accounting helpers ------------------------------------
+
+    def _note_wait(self, ready_count: int) -> None:
+        self.stats.waits += 1
+        self.stats.events += ready_count
+        self._count("waits")
+        if ready_count:
+            self._count("events", ready_count)
+
+
+#: string-keyed backend registry; populated by the implementation modules
+BACKENDS: Dict[str, Type[EventBackend]] = {}
+
+
+def register_backend(cls: Type[EventBackend]) -> Type[EventBackend]:
+    """Class decorator adding a backend to :data:`BACKENDS` by name."""
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def make_backend(name: str, server) -> EventBackend:
+    """Instantiate the backend registered under ``name`` for a server."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown event backend {name!r}; choose from "
+                         f"{sorted(BACKENDS)}") from None
+    return cls(server)

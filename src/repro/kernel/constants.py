@@ -87,12 +87,14 @@ O_ASYNC = 0o20000
 # errno
 # ---------------------------------------------------------------------------
 EPERM = 1
+ENOENT = 2
 EINTR = 4
 EBADF = 9
 EAGAIN = 11
 ENOMEM = 12
 EFAULT = 14
 EBUSY = 16
+EEXIST = 17
 EINVAL = 22
 ENFILE = 23
 EMFILE = 24
@@ -112,8 +114,9 @@ ECONNREFUSED = 111
 EINPROGRESS = 115
 
 _ERRNO_NAMES = {
-    EPERM: "EPERM", EINTR: "EINTR", EBADF: "EBADF", EAGAIN: "EAGAIN",
-    ENOMEM: "ENOMEM", EFAULT: "EFAULT", EBUSY: "EBUSY", EINVAL: "EINVAL",
+    EPERM: "EPERM", ENOENT: "ENOENT", EINTR: "EINTR", EBADF: "EBADF",
+    EAGAIN: "EAGAIN", ENOMEM: "ENOMEM", EFAULT: "EFAULT", EBUSY: "EBUSY",
+    EEXIST: "EEXIST", EINVAL: "EINVAL",
     ENFILE: "ENFILE", EMFILE: "EMFILE", ENOSPC: "ENOSPC", EPIPE: "EPIPE",
     ENOTSOCK: "ENOTSOCK", EOPNOTSUPP: "EOPNOTSUPP", EADDRINUSE: "EADDRINUSE",
     ENETUNREACH: "ENETUNREACH", ECONNABORTED: "ECONNABORTED",

@@ -62,6 +62,12 @@ class CostModel:
     devpoll_cached_ready_recheck: float = 0.95 * US  # ready results re-evaluated
     devpoll_full_scan_per_fd: float = 1.0 * US   # no-hints fallback: scan everything
     devpoll_copyout_per_ready: float = 0.28 * US  # skipped when mmap'd
+
+    # -- epoll -----------------------------------------------------------
+    epoll_ctl_op: float = 1.0 * US               # one interest mutation
+    epoll_wait_base: float = 1.0 * US            # epoll_wait fixed work
+    epoll_ready_check: float = 0.95 * US         # driver callback per checked fd
+    epoll_copyout_per_event: float = 0.28 * US   # per returned event
     backmap_lock_acquire: float = 0.08 * US      # rwlock (read side)
     backmap_mark_hint: float = 0.15 * US         # driver marking one backmap entry
 

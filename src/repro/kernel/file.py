@@ -51,6 +51,9 @@ class File:
         self.async_sig: int = 0
         self.async_fd: int = -1  # fd number reported in siginfo
         self._status_listeners: List[StatusListener] = []
+        #: called once, with the file, when the last reference drops;
+        #: epoll uses this to collect interests on closed descriptors
+        self._close_listeners: List[Callable[["File"], None]] = []
         #: number of driver poll callbacks executed against this file;
         #: the hints ablation asserts this drops when hinting is on.
         self.poll_callback_count = 0
@@ -77,6 +80,15 @@ class File:
     def remove_status_listener(self, listener: StatusListener) -> None:
         try:
             self._status_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def add_close_listener(self, listener: Callable[["File"], None]) -> None:
+        self._close_listeners.append(listener)
+
+    def remove_close_listener(self, listener: Callable[["File"], None]) -> None:
+        try:
+            self._close_listeners.remove(listener)
         except ValueError:
             pass
 
@@ -130,6 +142,9 @@ class File:
         # A close completing is itself a reportable event (the paper:
         # "the kernel raises the assigned signal whenever a read(),
         # write(), or close() operation completes").
+        for listener in list(self._close_listeners):
+            listener(self)
+        self._close_listeners.clear()
         self._status_listeners.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -80,8 +80,13 @@ class Kernel:
         self.tracer.trace(self.sim.now, subsystem, message)
 
     def span(self, subsystem: str, name: str, **attrs) -> Optional[Span]:
-        """Open a tracing span at the current simulated time."""
-        return self.tracer.begin(self.sim.now, subsystem, name, **attrs)
+        """Open a tracing span at the current simulated time.
+
+        The span is tracked to the simulated process currently running,
+        so nesting depths from concurrent processes stay independent.
+        """
+        return self.tracer.begin(self.sim.now, subsystem, name,
+                                 track=self.sim.current_process, **attrs)
 
     def span_end(self, span: Optional[Span], **attrs) -> None:
         """Close a span opened with :meth:`span` (no-op when disabled)."""

@@ -216,6 +216,46 @@ class SyscallInterface:
         return 0
 
     # ------------------------------------------------------------------
+    # epoll
+    # ------------------------------------------------------------------
+    def epoll_create(self):
+        """Create an epoll instance; returns its fd.
+
+        The epoll interface postdates the paper by months; see
+        :mod:`repro.core.epoll` for what it borrows from /dev/poll.
+        """
+        from ..core.epoll import EpollFile
+
+        yield from self._enter("epoll_create")
+        yield from self._charge(self.costs.fd_alloc, "open")
+        file = EpollFile(self.kernel)
+        fd = self.task.fdtable.alloc(file)
+        return fd
+
+    def epoll_ctl(self, epfd: int, op: int, fd: int, events: int = 0):
+        """Add/modify/delete one interest of an epoll instance."""
+        from ..core.epoll import EpollFile
+
+        file = self._file(epfd)
+        yield from self._enter("epoll_ctl")
+        if not isinstance(file, EpollFile):
+            raise SyscallError(EINVAL, f"epoll_ctl: fd {epfd} is not epoll")
+        result = yield from file.ctl(self.task, op, fd, events)
+        return result
+
+    def epoll_wait(self, epfd: int, max_events: int,
+                   timeout: Optional[float] = None):
+        """Wait for readiness; returns ``[(fd, revents), ...]``."""
+        from ..core.epoll import EpollFile
+
+        file = self._file(epfd)
+        yield from self._enter("epoll_wait")
+        if not isinstance(file, EpollFile):
+            raise SyscallError(EINVAL, f"epoll_wait: fd {epfd} is not epoll")
+        result = yield from file.do_wait(self.task, max_events, timeout)
+        return result
+
+    # ------------------------------------------------------------------
     # signals
     # ------------------------------------------------------------------
     def sigwaitinfo(self, sigset: Iterable[int], timeout: Optional[float] = None):

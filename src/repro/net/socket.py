@@ -13,7 +13,6 @@ so every event interface in the paper observes identical ground truth.
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..kernel.constants import (

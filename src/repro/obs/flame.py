@@ -14,15 +14,17 @@ not covered by a child span).  Feed the file to Brendan Gregg's
 ``flamegraph.pl``, speedscope, or any folded-stack viewer -- or render
 :func:`ascii_flame` for a terminal-only top-down view.
 
-Span nesting is reconstructed from the ring by start/end *time
-containment* alone.  The recorded ``depth`` is deliberately ignored: the
-tracer's stack is global, so spans from concurrent simulated processes
-(the server's event loop vs the harness's measure phase) interleave and
-make depth meaningless across processes, while containment still
-reflects "the device was polled during the measure window".  Spans that
-outlive every candidate parent (a request aborted after the measure
-window closes) degrade gracefully to new roots instead of corrupting
-stacks.
+Span nesting is reconstructed per *track* (the simulated process that
+opened the span) by start/end time containment: spans from concurrent
+processes can never adopt each other as parents, because they live on
+different tracks.  Rings recorded without track information (older
+exports, hand-built tracers) collapse onto the single ``None`` track,
+which reproduces the historical global-containment behaviour exactly.
+The recorded ``depth`` is still ignored in favour of containment --
+containment reflects "the device was polled during the measure window"
+even when a span's begin/end calls raced a timeout.  Spans that outlive
+every candidate parent (a request aborted after the measure window
+closes) degrade gracefully to new roots instead of corrupting stacks.
 Profiler attribution has no caller context, so it folds under a
 synthetic ``cpu`` root: ``cpu;devpoll;driver_callback 4567``.
 """
@@ -44,10 +46,26 @@ def collapse_spans(spans: Iterable[Span]) -> Dict[str, float]:
     A root span's frame is ``subsystem;name`` (so unrelated subsystems
     stay distinct at the top of the graph); nested frames are the span
     name alone, matching how the harness/server/kernel spans read.
+
+    Spans are grouped by :attr:`Span.track` first, so a span can only
+    nest under a span from the same simulated process.  All-trackless
+    input forms a single group, which is the pre-track fallback path.
     """
+    by_track: Dict[object, List[Span]] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        by_track.setdefault(getattr(span, "track", None), []).append(span)
+    folded: Dict[str, float] = {}
+    for track_spans in by_track.values():
+        _collapse_track(track_spans, folded)
+    return folded
+
+
+def _collapse_track(spans: List[Span], folded: Dict[str, float]) -> None:
+    """Containment pass over one track's completed spans (into ``folded``)."""
     # widest-first at equal starts, so the enclosing span becomes parent
-    done = sorted((s for s in spans if s.end is not None),
-                  key=lambda s: (s.start, -s.end, s.depth))
+    done = sorted(spans, key=lambda s: (s.start, -s.end, s.depth))
     paths: Dict[int, str] = {}
     child_time: Dict[int, float] = {}
     stack: List[Span] = []
@@ -63,13 +81,11 @@ def collapse_spans(spans: Iterable[Span]) -> Dict[str, float]:
         else:
             paths[id(span)] = f"{span.subsystem};{span.name}"
         stack.append(span)
-    folded: Dict[str, float] = {}
     for span in done:
         self_time = max(0.0, (span.duration or 0.0)
                         - child_time.get(id(span), 0.0))
         key = paths[id(span)]
         folded[key] = folded.get(key, 0.0) + self_time * USEC
-    return folded
 
 
 def collapse_profile(profiler: CpuProfiler,

@@ -10,6 +10,12 @@ The successor to the old ``repro.sim.tracing`` flat ring buffer.  A
   depth, and arbitrary attributes.  A span enters the ring when it ends,
   so the ring stays time-ordered by completion.
 
+Nesting depth is tracked *per track*: ``begin(..., track=process)``
+keys an open-span stack on the opening process, so spans from
+concurrently running simulated processes (the server loop vs the bench
+harness) never inflate each other's depths.  Trackless callers share
+the ``None`` track, which behaves exactly like the old global stack.
+
 Unlike the old tracer, a full ring does not lose records silently: the
 oldest entry is still evicted (memory stays bounded) but
 :attr:`SpanTracer.dropped` counts every eviction and :meth:`dump`
@@ -47,6 +53,11 @@ class Span:
     end: Optional[float] = None
     depth: int = 0
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: who opened the span -- a simulated process (or any hashable
+    #: token), or None for spans begun outside process context.  Depth
+    #: counts nesting *within* one track, so spans from concurrent
+    #: processes never inflate each other's depth.
+    track: Optional[object] = None
 
     @property
     def time(self) -> float:
@@ -75,7 +86,8 @@ class SpanTracer:
         self.enabled = enabled
         self.capacity = capacity
         self._ring: Deque[Record] = deque(maxlen=capacity)
-        self._stack: List[Span] = []
+        #: one open-span stack per track (``None`` = trackless callers)
+        self._stacks: Dict[object, List[Span]] = {}
         self.dropped = 0
 
     # ------------------------------------------------------------------
@@ -91,13 +103,22 @@ class SpanTracer:
         if self.enabled:
             self._append(TraceRecord(now, subsystem, message))
 
-    def begin(self, now: float, subsystem: str, name: str,
+    def begin(self, now: float, subsystem: str, name: str, *,
+              track: Optional[object] = None,
               **attrs: object) -> Optional[Span]:
-        """Open a nested span; returns None when tracing is disabled."""
+        """Open a nested span; returns None when tracing is disabled.
+
+        ``track`` identifies the (simulated) process opening the span;
+        each track nests independently, so two concurrent processes'
+        spans carry their own depths instead of interleaving on one
+        global counter.
+        """
         if not self.enabled:
             return None
-        span = Span(subsystem, name, now, depth=len(self._stack), attrs=attrs)
-        self._stack.append(span)
+        stack = self._stacks.setdefault(track, [])
+        span = Span(subsystem, name, now, depth=len(stack), attrs=attrs,
+                    track=track)
+        stack.append(span)
         return span
 
     def end(self, now: float, span: Optional[Span], **attrs: object) -> None:
@@ -107,14 +128,19 @@ class SpanTracer:
         span.end = now
         if attrs:
             span.attrs.update(attrs)
-        # spans normally close LIFO; tolerate out-of-order ends
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        else:
-            try:
-                self._stack.remove(span)
-            except ValueError:
-                pass
+        # spans normally close LIFO within their track; tolerate
+        # out-of-order ends
+        stack = self._stacks.get(span.track)
+        if stack:
+            if stack[-1] is span:
+                stack.pop()
+            else:
+                try:
+                    stack.remove(span)
+                except ValueError:
+                    pass
+            if not stack:
+                del self._stacks[span.track]
         self._append(span)
 
     # ------------------------------------------------------------------
@@ -131,12 +157,12 @@ class SpanTracer:
 
     @property
     def open_spans(self) -> List[Span]:
-        """Spans begun but not yet ended (innermost last)."""
-        return list(self._stack)
+        """Spans begun but not yet ended (per track, innermost last)."""
+        return [span for stack in self._stacks.values() for span in stack]
 
     def clear(self) -> None:
         self._ring.clear()
-        self._stack.clear()
+        self._stacks.clear()
         self.dropped = 0
 
     def dump(self) -> str:
@@ -174,6 +200,9 @@ class SpanTracer:
                         "type": "span", "subsystem": r.subsystem,
                         "name": r.name, "start": r.start, "end": r.end,
                         "depth": r.depth,
+                        "track": (None if r.track is None
+                                  else getattr(r.track, "name",
+                                               repr(r.track))),
                         "attrs": {k: repr(v) if not isinstance(
                             v, (int, float, str, bool, type(None))) else v
                             for k, v in r.attrs.items()},

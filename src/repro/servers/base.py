@@ -143,6 +143,11 @@ class BaseServer:
     #: to the next fdwatch cycle, as the real thttpd does -- the source of
     #: their small extra median latency in figure 14.
     immediate_write = True
+    #: :data:`repro.events.BACKENDS` key naming the event-notification
+    #: mechanism; None means the subclass runs its own loop without one
+    #: (the hybrid composes two mechanisms by hand).  Instances may
+    #: override before ``BaseServer.__init__`` runs.
+    backend_name: Optional[str] = None
 
     def __init__(self, kernel: "Kernel", site: Optional[StaticSite] = None,
                  config: Optional[ServerConfig] = None):
@@ -163,6 +168,14 @@ class BaseServer:
         self.listen_fd: int = -1
         self.running = False
         self._process: Optional[Process] = None
+        if self.backend_name is not None:
+            # local import: repro.events imports servers.base for the
+            # shared InterestUpdateBatch
+            from ..events import make_backend
+
+            self.backend = make_backend(self.backend_name, self)
+        else:
+            self.backend = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -291,9 +304,10 @@ class BaseServer:
         return "closed"
 
     def close_conn(self, conn: Connection):
-        """Tear down one connection (subclasses extend for interest/signal
-        deregistration before calling this)."""
+        """Tear down one connection, dropping any event-interest state
+        first (via :meth:`interest_forget`)."""
         if conn.fd in self.conns:
+            self.interest_forget(conn)
             del self.conns[conn.fd]
             if conn.span is not None:
                 self.kernel.span_end(conn.span, outcome="aborted")
@@ -302,6 +316,17 @@ class BaseServer:
                 yield from self.sys.close(conn.fd)
             except SyscallError:
                 pass
+
+    def interest_forget(self, conn: Connection) -> None:
+        """Drop event-interest bookkeeping for a connection being closed.
+
+        Runs exactly once per close, inside :meth:`close_conn`'s
+        membership guard, *before* the fd leaves ``conns`` -- the same
+        point at which the old per-server overrides staged their
+        POLLREMOVEs.  Never charges simulated CPU.
+        """
+        if self.backend is not None:
+            self.backend.interest_forget(conn.fd)
 
     # ------------------------------------------------------------------
     # idle-timeout sweep

@@ -80,10 +80,11 @@ class HybridServer(BaseServer):
         if len(self._updates):
             yield from self.sys.write(self.dp_fd, self._updates.flush())
 
-    def close_conn(self, conn: Connection):
-        if conn.fd in self.conns:
-            self._updates.remove(conn.fd)
-        yield from super().close_conn(conn)
+    def interest_forget(self, conn: Connection) -> None:
+        # Stage the POLLREMOVE; the batch coalesces it away entirely if
+        # the kernel never saw this fd.  BaseServer.close_conn invokes
+        # this inside its membership guard, before the fd leaves conns.
+        self._updates.remove(conn.fd)
 
     # ------------------------------------------------------------------
     def _switch(self, new_mode: str) -> None:

@@ -4,6 +4,12 @@ Single-threaded in the sense of the paper's section 5.2 benchmarks: one
 signal-worker thread serves requests, and a partner thread exists solely
 to take over with poll() when the RT signal queue overflows.
 
+The signal mechanism itself (arming fds, ``sigtimedwait4`` dequeue,
+overflow detection) lives in
+:class:`repro.events.rtsig_backend.RtsigBackend`; this class keeps what
+is genuinely phhttpd's: the per-event timer update, the race-ahead
+first read after arming, and the section-6 meltdown choreography.
+
 Faithfully modelled behaviours (sections 2 and 6):
 
 * each descriptor is armed with ``fcntl(F_SETOWN/F_SETSIG)`` + ``O_ASYNC``
@@ -18,8 +24,9 @@ Faithfully modelled behaviours (sections 2 and 6):
   to the poll sibling over a UNIX domain socket -- the "probably result
   in server meltdown" recovery path;
 * the sibling then rebuilds a pollfd array from scratch each iteration
-  (it reuses stock thttpd's loop) and **never switches back** to signal
-  mode ("Brown never implemented this logic").
+  (it reuses the unified thttpd loop on the ``poll`` backend) and
+  **never switches back** to signal mode ("Brown never implemented this
+  logic").
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.rtsig import SignalNumberAllocator, arm_rtsig
+from ..events.rtsig_backend import RTSIG_OVERFLOW
 from ..kernel.constants import (
     F_GETFL,
     F_SETFL,
@@ -36,7 +43,6 @@ from ..kernel.constants import (
     POLLHUP,
     POLLIN,
     POLLOUT,
-    SIGIO,
 )
 from ..sim.process import spawn
 from .base import READING, WRITING, BaseServer, Connection, ServerConfig
@@ -57,6 +63,7 @@ class _PollSibling(ThttpdServer):
     """The partner thread that handles RT-signal-queue overflow."""
 
     name = "phhttpd-poll"
+    backend_name = "poll"
 
     def __init__(self, parent: "PhhttpdServer", handoff_fd: int):
         BaseServer.__init__(self, parent.kernel, parent.site, parent.config)
@@ -80,6 +87,8 @@ class _PollSibling(ThttpdServer):
                 conn.outbuf = outbuf
                 conn.parser = parser
                 self.conns[fd] = conn
+                yield from self.backend.register(
+                    fd, POLLIN if state == READING else POLLOUT)
                 # disarm the RT signal the worker left behind
                 flags = yield from sys.fcntl(fd, F_GETFL)
                 yield from sys.fcntl(fd, F_SETFL, flags & ~O_ASYNC)
@@ -103,21 +112,25 @@ class _PollSibling(ThttpdServer):
 
 class PhhttpdServer(BaseServer):
     name = "phhttpd"
+    backend_name = "rtsig"
 
     def __init__(self, kernel, site=None, config: Optional[PhhttpdConfig] = None):
         super().__init__(kernel, site,
                          config if config is not None else PhhttpdConfig())
-        cfg: PhhttpdConfig = self.config  # type: ignore[assignment]
-        self.allocator = SignalNumberAllocator(
-            avoid_linuxthreads=cfg.avoid_linuxthreads,
-            per_fd_unique=cfg.per_fd_unique_signals)
         self.mode = "signals"
-        self.listen_signo = 0
         self.overflow_at: Optional[float] = None
         self.takeover_at: Optional[float] = None
         self.handoffs = 0
         self.handoff_fd = -1
         self.sibling: Optional[_PollSibling] = None
+
+    @property
+    def allocator(self):
+        return self.backend.allocator
+
+    @property
+    def listen_signo(self) -> int:
+        return self.backend.listen_signo
 
     # ------------------------------------------------------------------
     def run(self):
@@ -127,8 +140,7 @@ class PhhttpdServer(BaseServer):
         sim = self.kernel.sim
 
         yield from self.open_listener()
-        self.listen_signo = self.allocator.allocate()
-        yield from arm_rtsig(sys, self.listen_fd, self.listen_signo)
+        yield from self.backend.setup()
 
         # the overflow partner: a separate task with its own fd table,
         # reachable over a UNIX domain socketpair (fork-style inheritance)
@@ -143,30 +155,26 @@ class PhhttpdServer(BaseServer):
         self.sibling._process = spawn(
             sim, self.sibling.run(), name=self.sibling.name)
 
-        sigset = self.allocator.sigset() | {SIGIO}
         next_sweep = sim.now + cfg.timer_interval
 
         while self.running and self.mode == "signals":
-            timeout = max(0.0, next_sweep - sim.now)
-            infos = yield from sys.sigtimedwait4(
-                sigset, cfg.signal_batch, timeout)
-            for info in infos:
+            events = yield from self.backend.wait(deadline=next_sweep)
+            for fd, band in events:
                 self.stats.loops += 1
                 yield from sys.cpu_work(
                     costs.app_event_dispatch + costs.phhttpd_timer_update,
                     "app.dispatch")
-                if info.si_signo == SIGIO:
+                if fd == RTSIG_OVERFLOW:
                     yield from self._overflow_recovery()
                     break
-                if info.si_fd == self.listen_fd:
+                if fd == self.listen_fd:
                     yield from self._handle_listener()
                     continue
-                conn = self.conns.get(info.si_fd)
+                conn = self.conns.get(fd)
                 if conn is None:
                     # an event queued before close(): treat as a hint only
                     self.stats.stale_events += 1
                     continue
-                band = info.si_band
                 if conn.state == READING and band & (POLLIN | POLLERR | POLLHUP):
                     yield from self.handle_readable(conn)
                 elif conn.state == WRITING and band & (POLLOUT | POLLERR | POLLHUP):
@@ -180,8 +188,7 @@ class PhhttpdServer(BaseServer):
     def _handle_listener(self):
         new_conns = yield from self.accept_new()
         for conn in new_conns:
-            conn.signo = self.allocator.allocate()
-            yield from arm_rtsig(self.sys, conn.fd, conn.signo)
+            conn.signo = yield from self.backend.register(conn.fd, POLLIN)
             # data may have raced ahead of F_SETSIG: try a first read now
             if conn.fd in self.conns:
                 yield from self.handle_readable(conn)

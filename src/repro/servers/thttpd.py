@@ -1,14 +1,20 @@
-"""Stock thttpd: the single-process poll()-based event loop.
+"""thttpd: the single-process event loop, parameterized by backend.
 
-Mirrors the structure of thttpd 2.x's fdwatch main loop, including the
-behaviours the paper calls out as poll()'s weaknesses:
+Historically this module held only the stock poll() build, with the
+select(), /dev/poll, and epoll variants as forked copies of the loop.
+The loop is now written once against the
+:class:`~repro.events.base.EventBackend` protocol; the mechanism is a
+constructor argument (``backend="poll"`` by default) and the old module
+names (:mod:`repro.servers.thttpd_select`,
+:mod:`repro.servers.thttpd_devpoll`, :mod:`repro.servers.thttpd_epoll`)
+are thin subclasses that pin a backend and a config class.
 
-* the pollfd array is **rebuilt from scratch every iteration**
-  ("Applications of this type often entirely rebuild their pollfd array
-  each time they invoke poll()", section 6);
-* every open connection -- active or inactive -- appears in every poll
-  call, so kernel scan cost grows with total connections, not ready ones;
-* a periodic timer sweep closes idle connections.
+The poll() default still models thttpd 2.x's fdwatch weaknesses the
+paper calls out: the pollfd array is rebuilt from scratch every
+iteration (section 6), every open connection -- active or inactive --
+appears in every poll call, and a periodic timer sweep closes idle
+connections.  Those per-loop costs live in the backend now, charged in
+exactly the order the forked loops charged them.
 """
 
 from __future__ import annotations
@@ -20,9 +26,16 @@ from .base import READING, WRITING, BaseServer
 class ThttpdServer(BaseServer):
     name = "thttpd"
     immediate_write = False
+    backend_name = "poll"
+
+    def __init__(self, kernel, site=None, config=None, backend=None):
+        if backend is not None:
+            self.backend_name = backend
+        super().__init__(kernel, site, config)
 
     def run(self):
         yield from self.open_listener()
+        yield from self.backend.setup()
         yield from self.poll_loop()
 
     def poll_loop(self):
@@ -31,36 +44,23 @@ class ThttpdServer(BaseServer):
         sys = self.sys
         costs = self.kernel.costs
         sim = self.kernel.sim
+        backend = self.backend
         next_sweep = sim.now + self.config.timer_interval
 
         while self.running:
             self.stats.loops += 1
-            # thttpd rebuilds its entire pollfd array every time around
-            interests = [(self.listen_fd, POLLIN)]
-            for conn in self.conns.values():
-                events = POLLIN if conn.state == READING else POLLOUT
-                interests.append((conn.fd, events))
-            yield from sys.cpu_work(
-                costs.user_pollfd_build_per_fd * len(interests), "app.build")
-
-            timeout = max(0.0, next_sweep - sim.now)
-            ready = yield from sys.poll(interests, timeout)
-            if self.kernel.tracer.enabled:
-                self.kernel.trace(self.name,
-                                  f"loop {self.stats.loops}: poll over "
-                                  f"{len(interests)} fds, {len(ready)} ready")
-            # userspace must scan the whole returned array for revents
-            yield from sys.cpu_work(
-                costs.user_scan_per_fd * len(interests), "app.scan")
+            ready = yield from backend.wait(deadline=next_sweep)
 
             for fd, revents in ready:
-                yield from sys.cpu_work(costs.app_event_dispatch, "app.dispatch")
-                # fdwatch_check_fd(): linear search of the rebuilt array
-                yield from sys.cpu_work(
-                    costs.user_fdwatch_check_per_fd * len(interests),
-                    "app.fdwatch")
+                yield from sys.cpu_work(costs.app_event_dispatch,
+                                        "app.dispatch")
+                # e.g. fdwatch_check_fd(): poll/select re-search their
+                # whole rebuilt array per handled event
+                yield from backend.charge_dispatch()
                 if fd == self.listen_fd:
-                    yield from self.accept_new()
+                    new_conns = yield from self.accept_new()
+                    for conn in new_conns:
+                        yield from backend.register(conn.fd, POLLIN)
                     continue
                 conn = self.conns.get(fd)
                 if conn is None:
@@ -71,9 +71,17 @@ class ThttpdServer(BaseServer):
                     yield from self.close_conn(conn)
                     continue
                 if conn.state == READING and revents & (POLLIN | POLLERR | POLLHUP):
-                    yield from self.handle_readable(conn)
+                    before = conn.state
+                    result = yield from self.handle_readable(conn)
+                    if result == "responding" and before == READING:
+                        # response built; wait for writability next cycle
+                        yield from backend.modify(conn.fd, POLLOUT)
                 elif conn.state == WRITING and revents & (POLLOUT | POLLERR | POLLHUP):
                     yield from self.handle_writable(conn)
+                elif backend.strict_state_stale:
+                    # select() cannot re-check a revents mask against the
+                    # connection state; a mismatch is a stale event
+                    self.stats.stale_events += 1
 
             if sim.now >= next_sweep:
                 yield from self.sweep_idle()

@@ -1,5 +1,12 @@
 """thttpd modified to use /dev/poll (the paper's section 5.1 server).
 
+Deprecated module alias: the loop now lives once in
+:class:`repro.servers.thttpd.ThttpdServer` and the mechanism in
+:class:`repro.events.devpoll_backend.DevpollBackend`; this subclass
+only pins ``backend="devpoll"`` and defaults the config to
+:class:`DevpollServerConfig`.  Prefer ``ThttpdServer(kernel,
+backend="devpoll", config=DevpollServerConfig(...))`` in new code.
+
 Differences from stock thttpd, mirroring the authors' modification:
 
 * the interest set lives in the kernel and is updated *incrementally* --
@@ -19,16 +26,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.devpoll import DevPollConfig
-from ..core.pollfd import DP_ALLOC, DP_POLL, DP_POLL_WRITE, DvPoll
-from ..kernel.constants import (
-    POLLERR,
-    POLLHUP,
-    POLLIN,
-    POLLNVAL,
-    POLLOUT,
-)
-from .base import (READING, WRITING, BaseServer, Connection,
-                   InterestUpdateBatch, ServerConfig)
+from .base import ServerConfig
+from .thttpd import ThttpdServer
 
 
 @dataclass
@@ -43,94 +42,29 @@ class DevpollServerConfig(ServerConfig):
     devpoll: DevPollConfig = field(default_factory=DevPollConfig)
 
 
-class ThttpdDevpollServer(BaseServer):
+class ThttpdDevpollServer(ThttpdServer):
     name = "thttpd-devpoll"
-    immediate_write = False
+    backend_name = "devpoll"
 
     def __init__(self, kernel, site=None, config: Optional[DevpollServerConfig] = None):
         super().__init__(kernel, site,
                          config if config is not None else DevpollServerConfig())
-        self.dp_fd: int = -1
-        self._updates = InterestUpdateBatch()
-        self._result_area = None
 
-    # ------------------------------------------------------------------
-    # interest maintenance
-    # ------------------------------------------------------------------
-    def close_conn(self, conn: Connection):
-        # Stage the interest removal; the batch coalesces it away entirely
-        # if the kernel never saw this fd (accepted and closed in the same
-        # loop), keeping fd reuse correct.
-        if conn.fd in self.conns:
-            self._updates.remove(conn.fd)
-        yield from super().close_conn(conn)
+    # -- compatibility views over the backend's state ------------------
 
-    # ------------------------------------------------------------------
-    def run(self):
-        sys = self.sys
-        cfg: DevpollServerConfig = self.config  # type: ignore[assignment]
-        costs = self.kernel.costs
-        sim = self.kernel.sim
+    @property
+    def dp_fd(self) -> int:
+        return self.backend.dp_fd
 
-        yield from self.open_listener()
-        self.dp_fd = yield from sys.open_devpoll(cfg.devpoll)
-        if cfg.use_mmap:
-            yield from sys.ioctl(self.dp_fd, DP_ALLOC, cfg.result_capacity)
-            self._result_area = yield from sys.mmap_devpoll(self.dp_fd)
-        self._updates.add(self.listen_fd, POLLIN)
+    @property
+    def _updates(self):
+        return self.backend._updates
 
-        next_sweep = sim.now + self.config.timer_interval
-        while self.running:
-            self.stats.loops += 1
-            timeout = max(0.0, next_sweep - sim.now)
-            dvp = DvPoll(dp_fds=None if cfg.use_mmap else [],
-                         dp_nfds=cfg.result_capacity, dp_timeout=timeout)
-            if cfg.combined_update_poll:
-                ready = yield from sys.ioctl(
-                    self.dp_fd, DP_POLL_WRITE, (self._updates.flush(), dvp))
-            else:
-                if len(self._updates):
-                    yield from sys.write(self.dp_fd, self._updates.flush())
-                ready = yield from sys.ioctl(self.dp_fd, DP_POLL, dvp)
-            # userspace scans only the ready results
-            if self.kernel.tracer.enabled:
-                self.kernel.trace(self.name,
-                                  f"loop {self.stats.loops}: "
-                                  f"{len(ready)} ready")
-            yield from sys.cpu_work(
-                costs.user_scan_per_fd * len(ready), "app.scan")
+    @property
+    def _result_area(self):
+        return self.backend._result_area
 
-            for pfd in ready:
-                yield from sys.cpu_work(costs.app_event_dispatch, "app.dispatch")
-                fd, revents = pfd.fd, pfd.revents
-                if fd == self.listen_fd:
-                    new_conns = yield from self.accept_new()
-                    for conn in new_conns:
-                        self._updates.add(conn.fd, POLLIN)
-                    continue
-                conn = self.conns.get(fd)
-                if conn is None:
-                    self.stats.stale_events += 1
-                    continue
-                if revents & POLLNVAL:
-                    self.stats.stale_events += 1
-                    yield from self.close_conn(conn)
-                    continue
-                if conn.state == READING and revents & (POLLIN | POLLERR | POLLHUP):
-                    before = conn.state
-                    result = yield from self.handle_readable(conn)
-                    if result == "responding" and before == READING:
-                        # response built; wait for writability next cycle
-                        self._updates.add(conn.fd, POLLOUT)
-                elif conn.state == WRITING and revents & (POLLOUT | POLLERR | POLLHUP):
-                    yield from self.handle_writable(conn)
-
-            if sim.now >= next_sweep:
-                yield from self.sweep_idle()
-                next_sweep = sim.now + self.config.timer_interval
-
-    # ------------------------------------------------------------------
     @property
     def devpoll_file(self):
         """The kernel-side /dev/poll object (for stats in tests/benches)."""
-        return self.task.fdtable.lookup(self.dp_fd)
+        return self.task.fdtable.lookup(self.backend.dp_fd)

@@ -1,8 +1,13 @@
 """thttpd running its fdwatch layer on select() instead of poll().
 
-The real thttpd's fdwatch compiled against whichever interface the
-platform offered; the select() build is the oldest configuration and
-carries select's two structural penalties, both modelled here:
+Deprecated module alias: the loop now lives once in
+:class:`repro.servers.thttpd.ThttpdServer` and the mechanism in
+:class:`repro.events.select_backend.SelectBackend`; this subclass only
+pins ``backend="select"`` and keeps the FD_SETSIZE refusal counter.
+Prefer ``ThttpdServer(kernel, backend="select")`` in new code.
+
+The select() build is the oldest fdwatch configuration and carries
+select's two structural penalties, both modelled in the backend:
 
 * every call copies bitmaps proportional to the *highest* watched fd,
   then scans every watched descriptor anyway;
@@ -10,39 +15,31 @@ carries select's two structural penalties, both modelled here:
   the server must refuse connections outright.  This cap is exactly why
   the authors' stock httperf "assumes that the maximum is 1024"
   (section 5).
-
-Everything else (deferred writes, array rebuild per loop,
-fdwatch_check_fd's linear per-event search) matches the poll build in
-:mod:`repro.servers.thttpd`.
 """
 
 from __future__ import annotations
 
 from ..core.select_syscall import FD_SETSIZE
-from ..kernel.constants import POLLIN
-from .base import READING, WRITING, BaseServer
+from .thttpd import ThttpdServer
 
 
-class ThttpdSelectServer(BaseServer):
+class ThttpdSelectServer(ThttpdServer):
     name = "thttpd-select"
-    immediate_write = False
+    backend_name = "select"
 
     def __init__(self, kernel, site=None, config=None):
         super().__init__(kernel, site, config)
         #: connections refused because the watch set hit FD_SETSIZE
         self.fd_setsize_refusals = 0
 
-    def run(self):
-        yield from self.open_listener()
-        yield from self.select_loop()
-
     def accept_new(self):
         """Like the base accept loop, but connections whose descriptor
         would not fit in an fd_set are closed on the spot."""
+        capacity = self.backend.fd_capacity or FD_SETSIZE
         new_conns = yield from super().accept_new()
         kept = []
         for conn in new_conns:
-            if conn.fd >= FD_SETSIZE:
+            if conn.fd >= capacity:
                 self.fd_setsize_refusals += 1
                 yield from self.close_conn(conn)
             else:
@@ -50,57 +47,5 @@ class ThttpdSelectServer(BaseServer):
         return kept
 
     def select_loop(self):
-        sys = self.sys
-        costs = self.kernel.costs
-        sim = self.kernel.sim
-        next_sweep = sim.now + self.config.timer_interval
-
-        while self.running:
-            self.stats.loops += 1
-            # fdwatch rebuilds its fd_sets from scratch every iteration
-            readfds = [self.listen_fd]
-            writefds = []
-            for conn in self.conns.values():
-                if conn.state == READING:
-                    readfds.append(conn.fd)
-                else:
-                    writefds.append(conn.fd)
-            nwatched = len(readfds) + len(writefds)
-            yield from sys.cpu_work(
-                costs.user_pollfd_build_per_fd * nwatched, "app.build")
-
-            timeout = max(0.0, next_sweep - sim.now)
-            readable, writable = yield from sys.select(
-                readfds, writefds, timeout)
-            yield from sys.cpu_work(
-                costs.user_scan_per_fd * nwatched, "app.scan")
-
-            for fd in readable:
-                yield from sys.cpu_work(costs.app_event_dispatch,
-                                        "app.dispatch")
-                yield from sys.cpu_work(
-                    costs.user_fdwatch_check_per_fd * nwatched,
-                    "app.fdwatch")
-                if fd == self.listen_fd:
-                    yield from self.accept_new()
-                    continue
-                conn = self.conns.get(fd)
-                if conn is None or conn.state != READING:
-                    self.stats.stale_events += 1
-                    continue
-                yield from self.handle_readable(conn)
-            for fd in writable:
-                yield from sys.cpu_work(costs.app_event_dispatch,
-                                        "app.dispatch")
-                yield from sys.cpu_work(
-                    costs.user_fdwatch_check_per_fd * nwatched,
-                    "app.fdwatch")
-                conn = self.conns.get(fd)
-                if conn is None or conn.state != WRITING:
-                    self.stats.stale_events += 1
-                    continue
-                yield from self.handle_writable(conn)
-
-            if sim.now >= next_sweep:
-                yield from self.sweep_idle()
-                next_sweep = sim.now + self.config.timer_interval
+        """Backwards-compatible name for the unified loop."""
+        yield from self.poll_loop()

@@ -132,6 +132,11 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
+        #: the Process whose generator is being resumed right now (None
+        #: outside process context, e.g. plain timer callbacks).  Span
+        #: tracing keys its nesting stacks on this, so spans from
+        #: concurrently-running simulated processes never interleave.
+        self.current_process: Optional[Any] = None
         #: cancelled timers still sitting in the heap (lazy deletion)
         self._cancelled_pending: int = 0
         #: times the calendar was rebuilt to shed cancelled entries

@@ -66,6 +66,12 @@ class Process:
     def _resume(self, send_value: Any, exc: Optional[BaseException]) -> None:
         if self.done.triggered or self.crashed is not None:
             return
+        # Publish which process is executing while its generator runs so
+        # observers (span tracing) can keep per-process state.  Saved and
+        # restored rather than reset to None: _resume can nest when a
+        # yielded value resolves synchronously.
+        prev = self.sim.current_process
+        self.sim.current_process = self
         try:
             if exc is not None:
                 yielded = self.gen.throw(exc)
@@ -79,6 +85,8 @@ class Process:
             raise ProcessCrashed(
                 f"process {self.name!r} crashed at t={self.sim.now:.6f}: {err!r}"
             ) from err
+        finally:
+            self.sim.current_process = prev
         self._handle_yield(yielded)
 
     def _handle_yield(self, yielded: Any) -> None:

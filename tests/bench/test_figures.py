@@ -41,7 +41,7 @@ def test_error_figure_structure():
 
 def test_latency_figure_structure():
     fig = fig14(inactive=40, **TINY)
-    assert set(fig.series) == {"devpoll", "normal poll", "phhttpd"}
+    assert set(fig.series) == {"devpoll", "normal poll", "phhttpd", "epoll"}
     for series in fig.series.values():
         assert not math.isnan(series[0])
         assert series[0] > 0

@@ -101,3 +101,67 @@ def test_on_point_progress_callback():
     seen = []
     run_suite(TINY, on_point=seen.append)
     assert [e["label"] for e in seen] == ["thttpd-devpoll@120/5"]
+
+
+# ---------------------------------------------------------------------------
+# backend plumbing: the backends suite and run_suite retargeting
+# ---------------------------------------------------------------------------
+
+def test_backends_suite_covers_every_mechanism():
+    from repro.bench.harness import BACKEND_TO_KIND
+
+    suite = SUITES["backends"]
+    assert {p.backend for p in suite.points} == set(BACKEND_TO_KIND)
+    for point in suite.points:
+        assert point.server == BACKEND_TO_KIND[point.backend]
+
+
+def test_smoke_fingerprint_is_pinned():
+    """Guards the checked-in baseline: any change to the smoke suite's
+    point configs (including accidental backend leakage into legacy
+    records) breaks benchmarks/baselines/BENCH_smoke.json."""
+    assert suite_fingerprint(SUITES["smoke"]) == "c8d302c0dc84b958"
+
+
+def test_point_config_carries_backend_only_when_set():
+    from repro.bench.suites import point_config
+
+    legacy = TINY.points[0]
+    assert "backend" not in point_config(legacy)
+    tagged = BenchmarkPoint(server="thttpd-epoll", backend="epoll",
+                            rate=120.0, inactive=5, duration=1.2)
+    assert point_config(tagged)["backend"] == "epoll"
+
+
+def test_resolve_kind_maps_backend_to_server():
+    from repro.bench.harness import resolve_kind
+
+    legacy = TINY.points[0]
+    assert resolve_kind(legacy) == "thttpd-devpoll"
+    tagged = BenchmarkPoint(server="thttpd", backend="epoll",
+                            rate=100.0, inactive=0, duration=1.0)
+    assert resolve_kind(tagged) == "thttpd-epoll"
+    bogus = BenchmarkPoint(server="thttpd", backend="kqueue",
+                           rate=100.0, inactive=0, duration=1.0)
+    with pytest.raises(ValueError):
+        resolve_kind(bogus)
+
+
+def test_run_suite_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        run_suite(TINY, backend="kqueue")
+
+
+def test_run_suite_retargets_every_point_to_the_backend():
+    artifact = run_suite(TINY, backend="epoll")
+    assert artifact["backend"] == "epoll"
+    (entry,) = artifact["points"]
+    assert entry["server"] == "thttpd-epoll"
+    assert entry["backend"] == "epoll"
+    assert entry["replies_ok"] > 0
+
+
+def test_artifact_has_no_backend_key_for_legacy_runs(artifact):
+    assert "backend" not in artifact
+    (entry,) = artifact["points"]
+    assert "backend" not in entry

@@ -458,3 +458,21 @@ def test_wake_one_wakes_single_sleeper(kernel, task, sys_iface):
     # fd -- readiness is level-triggered -- so count immediate wakeups
     # via timing instead of membership)
     assert len(woken) >= 1
+
+
+def test_pollremove_of_never_added_fd_is_noop(kernel, task, sys_iface):
+    """A POLLREMOVE for an open fd the set never contained must be a
+    safe no-op (the backend batch normally coalesces these away, but a
+    hand-rolled application can still write one)."""
+    dp = open_dp(sys_iface)
+    f, fd = add_file(kernel, task)
+    dpf = task.fdtable.get(dp)
+    n = write_dp(sys_iface, dp, [PollFd(fd, POLLREMOVE)])
+    assert n == 1
+    assert len(dpf.interests) == 0
+    assert dpf.interests.lookup(fd) is None
+    # the set still works normally afterwards
+    write_dp(sys_iface, dp, [PollFd(fd, POLLIN)])
+    f.set_ready(POLLIN)
+    results = dp_poll(sys_iface, dp)
+    assert [(p.fd, p.revents) for p in results] == [(fd, POLLIN)]

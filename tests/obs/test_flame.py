@@ -129,8 +129,12 @@ def test_end_to_end_point_flame():
         trace=True, profile=True))
     lines = folded_stacks(result.testbed.tracer, result.profiler)
     paths = {line.rpartition(" ")[0] for line in lines}
-    # the harness's measure phase contains device polling
-    assert any(p.startswith("bench;measure;dp_poll") for p in paths)
+    # dp_poll runs on the *server process* track, the measure span on
+    # the trackless harness: per-track nesting keeps them apart, so the
+    # device poll is its own root instead of a fake measure child
+    assert any(p.startswith("devpoll;dp_poll") for p in paths)
+    assert not any(p.startswith("bench;measure;dp_poll") for p in paths)
+    assert any(p.startswith("bench;measure") for p in paths)
     # profiler attribution folds under the synthetic cpu root
     assert any(p.startswith("cpu;") for p in paths)
     rendered = ascii_flame(lines)

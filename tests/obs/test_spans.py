@@ -110,3 +110,81 @@ def test_span_message_property():
              attrs={"fd": 3})
     assert "op" in s.message
     assert s.duration == 1.5
+
+
+# ---------------------------------------------------------------------------
+# per-track nesting (concurrent simulated processes)
+# ---------------------------------------------------------------------------
+
+def test_per_track_depths_are_independent():
+    t = SpanTracer(enabled=True)
+    track_a, track_b = object(), object()
+    a_outer = t.begin(0.0, "s", "a.outer", track=track_a)
+    b_outer = t.begin(0.1, "s", "b.outer", track=track_b)
+    a_inner = t.begin(0.2, "s", "a.inner", track=track_a)
+    b_inner = t.begin(0.3, "s", "b.inner", track=track_b)
+    # a global stack would have counted 0,1,2,3 here
+    assert (a_outer.depth, b_outer.depth) == (0, 0)
+    assert (a_inner.depth, b_inner.depth) == (1, 1)
+    assert sorted(s.name for s in t.open_spans) == [
+        "a.inner", "a.outer", "b.inner", "b.outer"]
+    for span in (a_inner, a_outer, b_inner, b_outer):
+        t.end(1.0, span)
+    assert t.open_spans == []
+
+
+def test_trackless_callers_share_one_stack():
+    t = SpanTracer(enabled=True)
+    outer = t.begin(0.0, "s", "outer")
+    inner = t.begin(0.1, "s", "inner")
+    assert (outer.depth, inner.depth) == (0, 1)
+    assert outer.track is None and inner.track is None
+
+
+def test_concurrent_processes_nest_on_their_own_tracks():
+    """Integration: Kernel.span keys the stack on sim.current_process,
+    so two interleaved server loops never inflate each other's depths."""
+    from repro.kernel.kernel import Kernel
+    from repro.sim.engine import Simulator
+    from repro.sim.process import spawn
+
+    kernel = Kernel(Simulator(), "k", tracer=SpanTracer(enabled=True))
+    sim = kernel.sim
+
+    def worker(name, start_delay):
+        yield sim.timeout(start_delay)
+        outer = kernel.span("worker", f"{name}.outer")
+        yield sim.timeout(0.05)
+        inner = kernel.span("worker", f"{name}.inner")
+        yield sim.timeout(0.05)
+        kernel.span_end(inner)
+        kernel.span_end(outer)
+
+    proc_a = spawn(sim, worker("a", 0.0), "proc-a")
+    proc_b = spawn(sim, worker("b", 0.02), "proc-b")
+    sim.run()
+    spans = {s.name: s for s in kernel.tracer.spans()}
+    assert spans["a.outer"].depth == 0
+    assert spans["b.outer"].depth == 0  # interleaved, yet still a root
+    assert spans["a.inner"].depth == 1
+    assert spans["b.inner"].depth == 1
+    assert spans["a.outer"].track is proc_a
+    assert spans["b.outer"].track is proc_b
+    assert spans["a.inner"].track is spans["a.outer"].track
+
+
+def test_export_jsonl_records_track_name(tmp_path):
+    class Proc:
+        name = "server-loop"
+
+    t = SpanTracer(enabled=True)
+    tracked = t.begin(0.0, "s", "tracked", track=Proc())
+    t.end(1.0, tracked)
+    bare = t.begin(2.0, "s", "bare")
+    t.end(3.0, bare)
+    path = tmp_path / "trace.jsonl"
+    t.export_jsonl(str(path))
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    spans = {l["name"]: l for l in lines if l["type"] == "span"}
+    assert spans["tracked"]["track"] == "server-loop"
+    assert spans["bare"]["track"] is None

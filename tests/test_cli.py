@@ -169,3 +169,36 @@ def test_info_mentions_bench(capsys):
     out = capsys.readouterr().out
     assert "suites" in out
     assert "smoke" in out
+
+
+def test_point_with_backend(capsys):
+    assert main(["point", "thttpd", "150", "5", "--duration", "1.5",
+                 "--backend", "epoll"]) == 0
+    out = capsys.readouterr().out
+    assert "[epoll]" in out
+    assert "replies/s avg" in out
+
+
+def test_point_unknown_backend_exits_2(capsys):
+    assert main(["point", "thttpd", "100", "1",
+                 "--backend", "kqueue"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown backend" in err
+    assert "epoll" in err  # lists the choices
+
+
+def test_bench_unknown_backend_exits_2(capsys):
+    assert main(["bench", "--suite", "smoke", "--backend", "kqueue"]) == 2
+    assert "unknown backend" in capsys.readouterr().err
+
+
+def test_bench_list_includes_backends_suite(capsys):
+    assert main(["bench", "--list"]) == 0
+    assert "backends" in capsys.readouterr().out
+
+
+def test_figures_with_backend(capsys):
+    assert main(["figures", "fig05", "--rates", "150", "--duration", "1.5",
+                 "--backend", "epoll"]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out

@@ -94,12 +94,15 @@ def cmd_point(args) -> int:
     result = run_point(BenchmarkPoint(
         server=args.server, backend=args.backend, rate=args.rate,
         inactive=args.inactive, duration=args.duration, seed=args.seed,
+        cpus=args.cpus, workers=args.workers, dispatch=args.dispatch,
         trace=args.trace is not None, profile=args.profile_out is not None))
     rr = result.reply_rate
     shown = (f"{args.server} [{args.backend}]" if args.backend
              else args.server)
+    smp = (f", {args.cpus} cpus x {args.workers} workers"
+           if args.cpus != 1 or args.workers != 1 else "")
     print(f"{shown} @ {args.rate:.0f}/s, {args.inactive} inactive, "
-          f"{args.duration:.0f}s:")
+          f"{args.duration:.0f}s{smp}:")
     print(f"  replies/s avg {rr.avg:.1f}  min {rr.min:.1f}  max {rr.max:.1f}"
           f"  stddev {rr.stddev:.1f}")
     print(f"  errors {result.error_percent:.2f}%   "
@@ -148,12 +151,15 @@ def cmd_profile(args) -> int:
     result = run_point(BenchmarkPoint(
         server=args.server, backend=args.backend, rate=args.rate,
         inactive=args.inactive, duration=args.duration, seed=args.seed,
+        cpus=args.cpus, workers=args.workers,
         profile=True, server_opts=server_opts))
     report = result.profiler.report()
     rr = result.reply_rate
     shown = (f"{args.server} [{args.backend}]" if args.backend
              else args.server)
-    title = (f"{shown} @ {args.rate:.0f}/s, {args.inactive} inactive"
+    smp = (f", {args.cpus} cpus x {args.workers} workers"
+           if args.cpus != 1 or args.workers != 1 else "")
+    title = (f"{shown} @ {args.rate:.0f}/s, {args.inactive} inactive{smp}"
              f"{', hints off' if args.no_hints else ''}: "
              f"{rr.avg:.1f} replies/s, cpu "
              f"{100 * result.cpu_utilization:.0f}%")
@@ -237,11 +243,19 @@ def cmd_bench(args) -> int:
             line += f", p99 {p99:.2f} ms"
         print(line + f" [{entry['wall_clock_s']:.1f}s]", flush=True)
 
+    # --cpus 1 / --workers 1 mean "the historical uniprocessor suite":
+    # normalize to None so the artifact (and its fingerprint) is
+    # byte-identical to a run without the flags.
+    cpus = args.cpus if args.cpus != 1 else None
+    workers = args.workers if args.workers != 1 else None
     leg = f", backend={args.backend}" if args.backend else ""
+    if cpus or workers:
+        leg += f", cpus={cpus or 1}, workers={workers or 1}"
     print(f"suite {args.suite} ({len(SUITES[args.suite].points)} points, "
           f"jobs={args.jobs}{leg}):")
     artifact = run_suite(args.suite, trace=args.trace, on_point=progress,
-                         jobs=args.jobs, backend=args.backend)
+                         jobs=args.jobs, backend=args.backend,
+                         cpus=cpus, workers=workers)
     try:
         dump_artifact(artifact, out)
     except OSError as err:
@@ -304,13 +318,17 @@ def cmd_figures(args) -> int:
         return 2
     wanted = args.ids or sorted(ALL_FIGURES)
     base_point = None
-    if args.trace or args.profile_out is not None or args.backend is not None:
-        # backend rides on the template point: run_rate_sweep's replace()
-        # touches server/rate/..., so the pin survives into every point
-        # and run_point retargets each one onto the backend's kind.
+    if (args.trace or args.profile_out is not None
+            or args.backend is not None
+            or args.cpus != 1 or args.workers != 1):
+        # backend/cpus/workers ride on the template point:
+        # run_rate_sweep's replace() touches server/rate/..., so the pin
+        # survives into every point and run_point retargets each one.
+        # (fig_smp sets its own cpus/workers per point regardless.)
         base_point = BenchmarkPoint(trace=args.trace,
                                     profile=args.profile_out is not None,
-                                    backend=args.backend)
+                                    backend=args.backend,
+                                    cpus=args.cpus, workers=args.workers)
     profiles = {}
     for fig_id in wanted:
         if fig_id not in ALL_FIGURES:
@@ -351,6 +369,14 @@ def main(argv=None) -> int:
     p_point.add_argument("--backend", metavar="NAME",
                          help="pin an event backend (select, poll, "
                               "devpoll, rtsig, epoll); overrides SERVER")
+    p_point.add_argument("--cpus", type=int, default=1, metavar="N",
+                         help="simulated server CPUs (default 1)")
+    p_point.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="prefork workers sharing the port via "
+                              "SO_REUSEPORT (default 1)")
+    p_point.add_argument("--dispatch", choices=("hash", "round-robin"),
+                         default="hash",
+                         help="accept-sharding policy when --workers > 1")
     p_point.add_argument("--trace", metavar="FILE",
                          help="export the run's span trace as JSONL")
     p_point.add_argument("--profile-out", metavar="FILE",
@@ -365,6 +391,10 @@ def main(argv=None) -> int:
     p_prof.add_argument("--seed", type=int, default=0)
     p_prof.add_argument("--backend", metavar="NAME",
                         help="pin an event backend; overrides SERVER")
+    p_prof.add_argument("--cpus", type=int, default=1, metavar="N",
+                        help="simulated server CPUs (default 1)")
+    p_prof.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="prefork workers via SO_REUSEPORT (default 1)")
     p_prof.add_argument("--top", type=int, default=0,
                         help="show only the top N rows (0 = all)")
     p_prof.add_argument("--no-hints", action="store_true",
@@ -395,6 +425,12 @@ def main(argv=None) -> int:
     p_bench.add_argument("--backend", metavar="NAME",
                          help="retarget every point onto one event "
                               "backend (the CI backend matrix)")
+    p_bench.add_argument("--cpus", type=int, default=1, metavar="N",
+                         help="retarget every point onto an N-CPU server "
+                              "host (1 = the historical suite, unchanged)")
+    p_bench.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="prefork workers per point via SO_REUSEPORT "
+                              "(1 = the historical suite, unchanged)")
     p_bench.add_argument("--trace", action="store_true",
                          help="run every point with span tracing on")
     p_bench.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -425,6 +461,11 @@ def main(argv=None) -> int:
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--backend", metavar="NAME",
                        help="run every figure point on one event backend")
+    p_fig.add_argument("--cpus", type=int, default=1, metavar="N",
+                       help="simulated server CPUs per point (fig_smp "
+                            "sweeps its own counts regardless)")
+    p_fig.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="prefork workers per point via SO_REUSEPORT")
     p_fig.add_argument("--trace", action="store_true",
                        help="run every point with span tracing on")
     p_fig.add_argument("--jobs", type=int, default=1, metavar="N",

@@ -13,10 +13,10 @@ dataclasses in :mod:`repro.core.pollfd` and :mod:`repro.kernel.signals`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .harness import BenchmarkPoint
+from .harness import BACKEND_TO_KIND, BenchmarkPoint
 from .reporting import ascii_plot, format_table, reply_rate_table
 from .sweeps import PAPER_RATES, SweepResult, run_rate_sweep
 
@@ -224,9 +224,107 @@ def fig14(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
                         list(rates), series, sweeps=sweeps, table=table)
 
 
+# ---------------------------------------------------------------------------
+# fig_smp: speedup vs simulated CPU count (beyond the paper)
+# ---------------------------------------------------------------------------
+
+#: backends whose scaling curves fig_smp overlays
+SMP_BACKENDS: Sequence[str] = ("select", "devpoll", "epoll")
+#: server-host CPU counts on the x-axis
+SMP_CPU_COUNTS: Sequence[int] = (1, 2, 4, 8)
+#: weak-scaling operating point: offered requests/s and inactive
+#: connections *per CPU*.  300/s keeps one CPU comfortably inside its
+#: capacity for every backend (so the 1-CPU normalizer is honest) while
+#: 8 x 300 drives select's BKL-serialized O(n) scans past one CPU's
+#: worth of lock hold time -- the bend the figure exists to show.
+SMP_RATE_PER_CPU = 300.0
+SMP_INACTIVE_PER_CPU = 251
+
+
+def fig_smp(rates: Sequence[float] = PAPER_RATES, duration: float = 10.0,
+            seed: int = 0,
+            base_point: Optional[BenchmarkPoint] = None,
+            jobs: int = 1) -> FigureResult:
+    """Speedup vs simulated CPU count per event backend (weak scaling).
+
+    The paper's testbed is a uniprocessor; this figure extends the
+    reproduction to the SMP domain (:mod:`repro.smp`).  Each backend
+    runs at 1/2/4/8 server CPUs with one prefork worker per CPU
+    (SO_REUSEPORT accept sharding) under *weak scaling*: the offered
+    load grows with the CPU count (``SMP_RATE_PER_CPU`` requests/s and
+    ``SMP_INACTIVE_PER_CPU`` idle connections per core), so the y-axis
+    is throughput speedup relative to the same backend's 1-CPU point
+    and linear scaling is a straight line to 8x.  The runs use a
+    gigabit link: the paper's 100 Mbit/s switch saturates near 2000
+    replies/s of 6 KB documents, below a multi-CPU host's capacity.
+
+    ``rates`` is accepted for registry-signature compatibility but
+    ignored -- the x-axis is CPU count, and the per-core operating
+    point is calibrated, not swept.
+
+    The curves bend where the 2.2-era serialization terms bite: every
+    softirq runs on CPU 0, select/poll hold the BKL for their O(n)
+    scans, and epoll/devpoll pay backmap-rwlock contention between
+    CPU 0's interrupt-time hints and the workers' interest updates --
+    smaller terms, hence the better curve.
+    """
+    del rates  # the x-axis is CPUs; see the docstring
+    from ..net.link import ETHERNET_GIGABIT
+    from .parallel import failed_point_result, run_points
+
+    template = base_point if base_point is not None else BenchmarkPoint()
+    per_core = SMP_RATE_PER_CPU
+    points = []
+    for backend in SMP_BACKENDS:
+        for ncpus in SMP_CPU_COUNTS:
+            points.append(replace(
+                template,
+                server=BACKEND_TO_KIND[backend],
+                backend=backend,
+                rate=per_core * ncpus,
+                inactive=SMP_INACTIVE_PER_CPU * ncpus,
+                duration=duration,
+                seed=seed,
+                cpus=ncpus,
+                workers=ncpus,
+                bandwidth_bps=ETHERNET_GIGABIT,
+                server_opts=dict(template.server_opts),
+            ))
+    outcomes = run_points(points, jobs=jobs)
+    results = [o.result if o.ok else failed_point_result(o)
+               for o in outcomes]
+
+    series: Dict[str, List[float]] = {}
+    sweeps: Dict[str, SweepResult] = {}
+    rows = []
+    for b_index, backend in enumerate(SMP_BACKENDS):
+        backend_results = results[b_index * len(SMP_CPU_COUNTS):
+                                  (b_index + 1) * len(SMP_CPU_COUNTS)]
+        base_rate = backend_results[0].reply_rate.avg
+        speedups = []
+        for ncpus, result in zip(SMP_CPU_COUNTS, backend_results):
+            avg = result.reply_rate.avg
+            speedup = avg / base_rate if base_rate > 0 else float("nan")
+            speedups.append(speedup)
+            rows.append((backend, ncpus, result.point.rate, f"{avg:.1f}",
+                         f"{speedup:.2f}x",
+                         f"{result.cpu_utilization * 100:.0f}%"))
+        series[backend] = speedups
+        sweeps[backend] = SweepResult(
+            server=BACKEND_TO_KIND[backend],
+            inactive=SMP_INACTIVE_PER_CPU, points=backend_results)
+    table = format_table(
+        ["backend", "cpus", "req rate", "replies/s", "speedup", "cpu util"],
+        rows, f"fig_smp: speedup vs CPUs, {per_core:g} req/s and "
+              f"{SMP_INACTIVE_PER_CPU} inactive per core")
+    return FigureResult("fig_smp", "throughput speedup vs server CPUs",
+                        [float(c) for c in SMP_CPU_COUNTS], series,
+                        sweeps=sweeps, table=table)
+
+
 #: registry used by examples/paper_figures.py and the benchmark suite
 ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig04": fig04, "fig05": fig05, "fig06": fig06, "fig07": fig07,
     "fig08": fig08, "fig09": fig09, "fig10": fig10, "fig11": fig11,
-    "fig12": fig12, "fig13": fig13, "fig14": fig14,
+    "fig12": fig12, "fig13": fig13, "fig14": fig14, "fig_smp": fig_smp,
 }

@@ -91,6 +91,18 @@ class BenchmarkPoint:
     trace: bool = False
     #: attribute server-CPU time to (subsystem, operation) pairs
     profile: bool = False
+    #: simulated CPUs in the server host (>1 builds an SMP domain)
+    cpus: int = 1
+    #: prefork workers sharing the port via SO_REUSEPORT; 1 keeps the
+    #: historical single event-loop process
+    workers: int = 1
+    #: accept-sharding policy for reuse-port groups when workers > 1:
+    #: "hash" (client-port hash) or "round-robin"
+    dispatch: str = "hash"
+    #: override the testbed link speed (None = the paper's 100 Mbit/s);
+    #: the SMP scaling figure runs on a gigabit link, which a multi-CPU
+    #: host can out-serve the historical switch on
+    bandwidth_bps: Optional[float] = None
 
 
 @dataclass
@@ -163,8 +175,15 @@ def make_server(kind: str, kernel, site: Optional[StaticSite] = None,
 
 def run_point(point: BenchmarkPoint) -> PointResult:
     """Execute one benchmark point from a cold testbed."""
-    tb_config = point.testbed if point.testbed is not None else TestbedConfig(
-        seed=point.seed, trace=point.trace, profile=point.profile)
+    if point.testbed is not None:
+        tb_config = point.testbed
+    else:
+        tb_kwargs: Dict[str, Any] = {}
+        if point.bandwidth_bps is not None:
+            tb_kwargs["bandwidth_bps"] = point.bandwidth_bps
+        tb_config = TestbedConfig(
+            seed=point.seed, trace=point.trace, profile=point.profile,
+            server_cpus=point.cpus, **tb_kwargs)
     testbed = Testbed(tb_config)
     doc_paths = None
     if point.document_sizes:
@@ -175,8 +194,21 @@ def run_point(point: BenchmarkPoint) -> PointResult:
     else:
         site = StaticSite()
     kind = resolve_kind(point)
-    server = make_server(kind, testbed.server_kernel, site,
-                         **point.server_opts)
+    if point.workers > 1:
+        from ..servers.pool import WorkerPool
+
+        testbed.server_stack.reuseport_dispatch = point.dispatch
+
+        def worker_factory(_index: int) -> BaseServer:
+            opts = dict(point.server_opts)
+            opts["reuse_port"] = True
+            return make_server(kind, testbed.server_kernel, site, **opts)
+
+        server = WorkerPool(testbed.server_kernel, worker_factory,
+                            workers=point.workers)
+    else:
+        server = make_server(kind, testbed.server_kernel, site,
+                             **point.server_opts)
     server.start()
     testbed.run(until=testbed.sim.now + 0.1)  # let the listener come up
 
@@ -233,7 +265,8 @@ def run_point(point: BenchmarkPoint) -> PointResult:
         testbed=testbed,
         cpu_utilization=min(1.0, (
             (testbed.server_kernel.cpu.busy_time - busy_before)
-            / max(1e-9, testbed.sim.now - measure_start))),
+            / max(1e-9, (testbed.sim.now - measure_start)
+                  * getattr(testbed.server_kernel.cpu, "capacity", 1)))),
         inactive_reconnects=pool.reconnects,
         time_wait_server=testbed.server_stack.time_wait_count,
         time_wait_client=testbed.client_stack.time_wait_count,

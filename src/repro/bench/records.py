@@ -30,7 +30,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports; a
 #:      ``server_latency_percentiles``).  Loading a v1 record simply
 #:      leaves the new keys absent -- readers must treat them as
 #:      "unknown", not as the defaults.
-RECORD_VERSION = 2
+#: 3 -- adds the SMP point keys ``cpus``, ``workers``, ``dispatch``, and
+#:      ``bandwidth_bps``, present only when non-default (cpus/workers
+#:      > 1, dispatch != "hash", a link-speed override), so uniprocessor
+#:      records stay byte-identical to v2.
+RECORD_VERSION = 3
 
 #: Per-point artifact keys that measure the *host*, not the simulation:
 #: they differ run-to-run and between serial and parallel execution, so
@@ -103,6 +107,15 @@ def point_record(result: PointResult) -> Dict[str, Any]:
     # records (and their fingerprints) stay byte-identical.
     if point.backend is not None:
         record["backend"] = point.backend
+    # SMP keys follow the same only-when-non-default rule
+    if point.cpus != 1:
+        record["cpus"] = point.cpus
+    if point.workers != 1:
+        record["workers"] = point.workers
+    if point.dispatch != "hash":
+        record["dispatch"] = point.dispatch
+    if point.bandwidth_bps is not None:
+        record["bandwidth_bps"] = point.bandwidth_bps
     mode = getattr(result.server, "mode", None)
     if mode is not None:
         record["mode"] = mode

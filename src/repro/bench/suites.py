@@ -39,7 +39,12 @@ from .sweeps import QUICK_RATES
 #:      ``sim_events``/``sim_wall_seconds``/``events_per_second``;
 #:      failed points appear as ``{"failed": true, "error": ...}``
 #:      entries instead of aborting the run.
-ARTIFACT_VERSION = 2
+#: 3 -- SMP: per-point ``cpus``/``workers``/``dispatch`` config keys and
+#:      a top-level ``cpus``/``workers`` marker when ``run_suite``
+#:      retargets the whole suite; all of them appear only when
+#:      non-default, so uniprocessor artifacts keep the v2 shape (and
+#:      the pre-SMP fingerprints).
+ARTIFACT_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -131,6 +136,14 @@ def point_config(point: BenchmarkPoint) -> Dict[str, Any]:
     }
     if point.backend is not None:
         config["backend"] = point.backend
+    if point.cpus != 1:
+        config["cpus"] = point.cpus
+    if point.workers != 1:
+        config["workers"] = point.workers
+    if point.dispatch != "hash":
+        config["dispatch"] = point.dispatch
+    if point.bandwidth_bps is not None:
+        config["bandwidth_bps"] = point.bandwidth_bps
     return config
 
 
@@ -177,7 +190,9 @@ def _outcome_entry(outcome: PointOutcome) -> Dict[str, Any]:
 def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
               on_point: Optional[Callable[[Dict[str, Any]], None]] = None,
               jobs: int = 1, selfperf: bool = True,
-              backend: Optional[str] = None) -> Dict[str, Any]:
+              backend: Optional[str] = None,
+              cpus: Optional[int] = None,
+              workers: Optional[int] = None) -> Dict[str, Any]:
     """Run every point of a suite and return the artifact dict.
 
     ``on_point`` (if given) is called with each point's artifact entry
@@ -196,6 +211,12 @@ def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
     The retargeted points carry the backend in their configs, so the
     artifact's fingerprint distinguishes the matrix legs from the
     untouched suite.
+
+    ``cpus``/``workers`` likewise retarget every point onto an SMP
+    server host (the CI SMP matrix runs the smoke suite this way).
+    ``None`` leaves the suite's own values alone; the regression gate
+    keeps comparing the untouched ``cpus=1`` suite against its
+    checked-in baseline.
     """
     if isinstance(suite, str):
         try:
@@ -212,6 +233,19 @@ def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
             tuple(replace(p, server=BACKEND_TO_KIND[backend],
                           backend=backend)
                   for p in suite.points))
+    if cpus is not None or workers is not None:
+        smp_kwargs: Dict[str, Any] = {}
+        if cpus is not None:
+            if cpus < 1:
+                raise ValueError(f"cpus must be >= 1, got {cpus}")
+            smp_kwargs["cpus"] = cpus
+        if workers is not None:
+            if workers < 1:
+                raise ValueError(f"workers must be >= 1, got {workers}")
+            smp_kwargs["workers"] = workers
+        suite = BenchSuite(
+            suite.name, suite.description,
+            tuple(replace(p, **smp_kwargs) for p in suite.points))
     suite_t0 = time.perf_counter()
     run_specs = [replace(point, profile=True, trace=trace)
                  for point in suite.points]
@@ -238,6 +272,10 @@ def run_suite(suite: Union[str, BenchSuite], trace: bool = False,
     }
     if backend is not None:
         artifact["backend"] = backend
+    if cpus is not None:
+        artifact["cpus"] = cpus
+    if workers is not None:
+        artifact["workers"] = workers
     if selfperf:
         from .selfperf import run_selfperf
 

@@ -35,6 +35,9 @@ class TestbedConfig:
     seed: int = 0
     server_cpu_speed: float = SERVER_CPU_SPEED
     client_cpu_speed: float = CLIENT_CPU_SPEED
+    #: simulated CPUs in the *server* host (the client stays an
+    #: unconstrained single CPU); >1 builds an SMP domain (repro.smp)
+    server_cpus: int = 1
     bandwidth_bps: float = ETHERNET_100MBIT
     latency: float = LAN_LATENCY
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
@@ -60,7 +63,8 @@ class Testbed:
         self.network = Network(self.sim, cfg.bandwidth_bps, cfg.latency)
         self.server_kernel = Kernel(
             self.sim, SERVER_HOST, cpu_speed=cfg.server_cpu_speed,
-            costs=cfg.costs, tracer=self.tracer, profiler=self.profiler)
+            costs=cfg.costs, tracer=self.tracer, profiler=self.profiler,
+            num_cpus=cfg.server_cpus)
         self.client_kernel = Kernel(
             self.sim, CLIENT_HOST, cpu_speed=cfg.client_cpu_speed,
             costs=cfg.costs, tracer=self.tracer)

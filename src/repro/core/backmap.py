@@ -21,10 +21,11 @@ which :func:`per_socket_lock_memory` reports).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.file import File
+    from ..kernel.kernel import Kernel
     from .interest_set import Interest
 
 
@@ -37,18 +38,31 @@ class RwLockStats:
 
 
 class BackmapLock:
-    """Accounting-only read-write lock (single global one, as in the paper)."""
+    """The single global backmap read-write lock, as in the paper.
 
-    def __init__(self) -> None:
+    On a uniprocessor kernel it is accounting-only -- the lock never
+    contends, but acquisitions are counted.  When the owning kernel has
+    an SMP domain, every acquisition additionally feeds the domain's
+    shared :class:`~repro.smp.contention.RwContention` model, which
+    charges cross-CPU reader/writer wait time -- the bottleneck the
+    paper flags as future work.
+    """
+
+    def __init__(self, kernel: Optional["Kernel"] = None) -> None:
         self.stats = RwLockStats()
+        self.kernel = kernel
 
     def read_acquire(self) -> None:
         """Hint path: "hints require only a read lock"."""
         self.stats.read_acquisitions += 1
+        if self.kernel is not None and self.kernel.smp is not None:
+            self.kernel.smp.backmap_read()
 
     def write_acquire(self) -> None:
         """Interest-set modification path (held for writing)."""
         self.stats.write_acquisitions += 1
+        if self.kernel is not None and self.kernel.smp is not None:
+            self.kernel.smp.backmap_write()
 
 
 def per_socket_lock_memory(socket_count: int) -> int:

@@ -112,7 +112,7 @@ class DevPollFile(File):
         super().__init__(kernel, name="/dev/poll")
         self.config = config if config is not None else DevPollConfig()
         self.interests = InterestSet(kind=self.config.interest_kind)
-        self.lock = BackmapLock()
+        self.lock = BackmapLock(kernel)
         self.stats = DevPollStats()
         self._hinted: List[Interest] = []
         self._ready_cache: List[Interest] = []
@@ -311,9 +311,14 @@ class DevPollFile(File):
                 if tracer.enabled else None)
         while True:
             ready, charges = self._scan()
+            scan_work = sum(seconds for _op, seconds in charges)
+            # the ioctl path ran under the big kernel lock in 2.2; the
+            # hint-driven scan is O(ready), so the serialized hold is
+            # short -- the SMP advantage over select/poll
+            if self.kernel.smp is not None:
+                self.kernel.smp.bkl_wait(scan_work)
             yield self.kernel.cpu.consume(
-                sum(seconds for _op, seconds in charges), PRIO_USER,
-                "devpoll.scan", breakdown=charges)
+                scan_work, PRIO_USER, "devpoll.scan", breakdown=charges)
             if ready or dvp.dp_timeout == 0:
                 ready = ready[:max_results]
                 self.stats.results_returned += len(ready)

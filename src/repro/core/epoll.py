@@ -84,7 +84,7 @@ class EpollFile(File):
     def __init__(self, kernel: "Kernel"):
         super().__init__(kernel, name="epoll")
         self.interests = InterestSet(kind="hash")
-        self.lock = BackmapLock()
+        self.lock = BackmapLock(kernel)
         self.stats = EpollStats()
         self._hinted: List[Interest] = []
         self._ready_cache: List[Interest] = []
@@ -262,9 +262,14 @@ class EpollFile(File):
                 if tracer.enabled else None)
         while True:
             ready, charges = self._scan()
+            scan_work = sum(seconds for _op, seconds in charges)
+            # kernel-side harvest serializes on the big kernel lock, but
+            # the hold is O(ready), not O(interests) -- the SMP
+            # advantage over select/poll
+            if self.kernel.smp is not None:
+                self.kernel.smp.bkl_wait(scan_work)
             yield self.kernel.cpu.consume(
-                sum(seconds for _op, seconds in charges), PRIO_USER,
-                "epoll.wait", breakdown=charges)
+                scan_work, PRIO_USER, "epoll.wait", breakdown=charges)
             if ready or timeout == 0:
                 reported = ready[:max_events]
                 for entry in reported:

@@ -61,7 +61,11 @@ def sys_poll(task: Task, interests: Sequence[Tuple[int, int]],
         return ready
 
     while True:
-        # 2. full scan, one driver callback per descriptor
+        # 2. full scan, one driver callback per descriptor.  2.2 ran the
+        # scan under the big kernel lock, so on SMP the whole O(n) walk
+        # serializes against every other CPU's scan.
+        if kernel.smp is not None:
+            kernel.smp.bkl_wait(costs.poll_driver_callback * n)
         yield from charge(costs.poll_driver_callback * n, "poll.scan",
                           "driver_callback")
         ready = scan()

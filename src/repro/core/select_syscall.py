@@ -82,6 +82,10 @@ def sys_select(task: Task, readfds: Iterable[int], writefds: Iterable[int],
         return readable, writable
 
     while True:
+        # the O(watched) driver scan ran under the big kernel lock in
+        # 2.2, so on SMP it serializes against every other CPU's scan
+        if kernel.smp is not None:
+            kernel.smp.bkl_wait(costs.poll_driver_callback * len(watched))
         yield from charge(costs.poll_driver_callback * len(watched),
                           "select.scan")
         readable, writable = scan()

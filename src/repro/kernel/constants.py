@@ -84,6 +84,14 @@ O_NONBLOCK = 0o4000
 O_ASYNC = 0o20000
 
 # ---------------------------------------------------------------------------
+# setsockopt
+# ---------------------------------------------------------------------------
+SOL_SOCKET = 1
+#: several sockets may bind the same port; the stack shards incoming
+#: SYNs across them (the prefork worker pool's accept-sharding knob)
+SO_REUSEPORT = 15
+
+# ---------------------------------------------------------------------------
 # errno
 # ---------------------------------------------------------------------------
 EPERM = 1
@@ -101,6 +109,7 @@ EMFILE = 24
 ENOSPC = 28
 EPIPE = 32
 ENOTSOCK = 88
+ENOPROTOOPT = 92
 EOPNOTSUPP = 95
 EADDRINUSE = 98
 ENETUNREACH = 101
@@ -118,7 +127,8 @@ _ERRNO_NAMES = {
     EAGAIN: "EAGAIN", ENOMEM: "ENOMEM", EFAULT: "EFAULT", EBUSY: "EBUSY",
     EEXIST: "EEXIST", EINVAL: "EINVAL",
     ENFILE: "ENFILE", EMFILE: "EMFILE", ENOSPC: "ENOSPC", EPIPE: "EPIPE",
-    ENOTSOCK: "ENOTSOCK", EOPNOTSUPP: "EOPNOTSUPP", EADDRINUSE: "EADDRINUSE",
+    ENOTSOCK: "ENOTSOCK", ENOPROTOOPT: "ENOPROTOOPT",
+    EOPNOTSUPP: "EOPNOTSUPP", EADDRINUSE: "EADDRINUSE",
     ENETUNREACH: "ENETUNREACH", ECONNABORTED: "ECONNABORTED",
     ECONNRESET: "ECONNRESET", ENOBUFS: "ENOBUFS", EISCONN: "EISCONN",
     ENOTCONN: "ENOTCONN", ETIMEDOUT: "ETIMEDOUT",

@@ -80,9 +80,19 @@ class CostModel:
     #: server faltering under very high request rates (figure 11)
     phhttpd_timer_update: float = 8.0 * US
 
+    # -- SMP (repro.smp) ---------------------------------------------------
+    #: cache/TLB refill when a process's next grant lands on a different
+    #: CPU than its last one; the order of a few dozen microseconds of
+    #: refill traffic on era hardware (docs/cost_model.md)
+    smp_migration_cost: float = 22.0 * US
+    #: backmap rwlock write-side hold: unlinking/linking one interest
+    #: entry under the single global lock (epoll_ctl, /dev/poll updates)
+    backmap_write_hold: float = 0.6 * US
+
     # -- file descriptors / generic VFS -----------------------------------
     fd_alloc: float = 0.9 * US
     fcntl_op: float = 0.6 * US
+    setsockopt_op: float = 0.6 * US
 
     # -- sockets ---------------------------------------------------------
     sock_read_base: float = 2.6 * US

@@ -33,11 +33,24 @@ class Kernel:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[CpuProfiler] = None,
+        num_cpus: int = 1,
     ):
         self.sim = sim
         self.name = name
-        self.cpu = CPU(sim, name=f"{name}.cpu", speed=cpu_speed)
         self.costs = costs
+        if num_cpus > 1:
+            # local import: repro.smp builds on sim.resources and reads
+            # kernel.costs, so the dependency must point this way
+            from ..smp import SmpDomain
+
+            self.smp: Optional["SmpDomain"] = SmpDomain(
+                self, num_cpus, cpu_speed=cpu_speed)
+            self.cpu = self.smp.multi
+            self.cpus = self.smp.cpus
+        else:
+            self.smp = None
+            self.cpu = CPU(sim, name=f"{name}.cpu", speed=cpu_speed)
+            self.cpus = [self.cpu]
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: one registry per host; every kernel/net/server tally lives here
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -50,6 +63,20 @@ class Kernel:
         self._pid = 0
         #: attached by repro.net.stack.NetStack.__init__
         self.net: Optional["NetStack"] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cpus(self) -> int:
+        return len(self.cpus)
+
+    def pin(self, process, cpu_index: int) -> None:
+        """Hard-affine a simulated process to one CPU.
+
+        No-op on uniprocessor kernels, so callers (the worker pool) can
+        pin unconditionally.
+        """
+        if self.smp is not None:
+            self.smp.scheduler.pin(process, cpu_index)
 
     # ------------------------------------------------------------------
     def next_pid(self) -> int:
@@ -84,9 +111,18 @@ class Kernel:
 
         The span is tracked to the simulated process currently running,
         so nesting depths from concurrent processes stay independent.
+        On an SMP kernel the track is the ``(process, cpu)`` pair and the
+        span records the CPU executing it, so per-CPU attribution
+        survives into trace exports and flamegraphs.
         """
+        proc = self.sim.current_process
+        if self.smp is None:
+            return self.tracer.begin(self.sim.now, subsystem, name,
+                                     track=proc, **attrs)
+        cpu_index = self.smp.current_cpu_index()
         return self.tracer.begin(self.sim.now, subsystem, name,
-                                 track=self.sim.current_process, **attrs)
+                                 track=(proc, cpu_index), cpu=cpu_index,
+                                 **attrs)
 
     def span_end(self, span: Optional[Span], **attrs) -> None:
         """Close a span opened with :meth:`span` (no-op when disabled)."""

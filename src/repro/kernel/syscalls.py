@@ -339,6 +339,17 @@ class SyscallInterface:
         sock.listen(backlog)
         return 0
 
+    def setsockopt(self, fd: int, level: int, optname: int, value: int = 1):
+        """Set a socket option; SOL_SOCKET/SO_REUSEPORT is the one that
+        exists here (prefork workers sharding one listening port)."""
+        from ..net.socket import require_socket
+
+        sock = require_socket(self._file(fd))
+        yield from self._enter("setsockopt")
+        yield from self._charge(self.costs.setsockopt_op, "setsockopt")
+        sock.set_option(level, optname, value)
+        return 0
+
     def accept(self, fd: int):
         """Returns ``(new_fd, remote_addr)``; blocks unless O_NONBLOCK."""
         from ..net.socket import require_socket

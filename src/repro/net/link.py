@@ -24,6 +24,10 @@ WIRE_OVERHEAD_PER_SEGMENT = 58
 MSS = 1460
 
 ETHERNET_100MBIT = 100e6
+#: gigabit upgrade for the SMP scaling experiments: the paper's 100 Mbit
+#: switch saturates around 2000 replies/s of 6 KB documents, below what
+#: a multi-CPU server host can serve
+ETHERNET_GIGABIT = 1e9
 #: One switch hop on a quiet LAN (propagation + switching).
 LAN_LATENCY = 0.0001
 

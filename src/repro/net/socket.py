@@ -19,11 +19,14 @@ from ..kernel.constants import (
     EAGAIN,
     ECONNRESET,
     EINVAL,
+    ENOPROTOOPT,
     ENOTSOCK,
     ETIMEDOUT,
     EISCONN,
     O_NONBLOCK,
     POLLIN,
+    SO_REUSEPORT,
+    SOL_SOCKET,
     SyscallError,
 )
 from ..kernel.file import File
@@ -54,6 +57,8 @@ class SocketFile(File):
         self.endpoint = endpoint
         self.listener: Optional[Listener] = None
         self.bound_port: Optional[int] = None
+        #: SO_REUSEPORT: share the listening port with sibling workers
+        self.reuse_port = False
         if endpoint is not None:
             endpoint.notify = self.notify
             self.name = f"sock:{endpoint.local_port}<-{endpoint.remote_port}"
@@ -91,6 +96,14 @@ class SocketFile(File):
             raise SyscallError(EINVAL, "bind on active socket")
         self.bound_port = port
 
+    def set_option(self, level: int, optname: int, value: int) -> None:
+        """setsockopt(2) backend; only SOL_SOCKET/SO_REUSEPORT exists."""
+        if level == SOL_SOCKET and optname == SO_REUSEPORT:
+            self.reuse_port = bool(value)
+            return
+        raise SyscallError(ENOPROTOOPT,
+                           f"setsockopt level={level} opt={optname}")
+
     def listen(self, backlog: int) -> None:
         if self.bound_port is None:
             raise SyscallError(EINVAL, "listen before bind")
@@ -98,7 +111,8 @@ class SocketFile(File):
             self.listener.backlog = backlog
             return
         stack = self._stack()
-        self.listener = stack.add_listener(self.bound_port, backlog)
+        self.listener = stack.add_listener(self.bound_port, backlog,
+                                           reuse=self.reuse_port)
         self.listener.notify = self.notify
         self.name = f"listen:{self.bound_port}"
 

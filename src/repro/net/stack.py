@@ -11,11 +11,11 @@ dead time.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Union
 
 from ..kernel.constants import EADDRINUSE, SyscallError
 from .link import Network
-from .tcp import TIME_WAIT_SECONDS, Listener, TcpEndpoint
+from .tcp import TIME_WAIT_SECONDS, Listener, ReusePortGroup, TcpEndpoint
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.kernel import Kernel
@@ -37,7 +37,13 @@ class NetStack:
         #: snapshot shows syscall counts and TCP counters side by side
         self.counters = kernel.metrics.tally()
         self._open_gauge = kernel.metrics.gauge("tcp.open_connections")
-        self._listeners: Dict[int, Listener] = {}
+        #: plain Listener, or a ReusePortGroup once SO_REUSEPORT sockets
+        #: share the port
+        self._listeners: Dict[int, Union[Listener, ReusePortGroup]] = {}
+        #: sysctl-style accept-sharding policy for reuse-port groups:
+        #: "hash" (client-port hash, the kernel's behaviour) or
+        #: "round-robin"
+        self.reuseport_dispatch = "hash"
         self._free_ports: Deque[int] = deque(range(EPHEMERAL_LOW, EPHEMERAL_HIGH))
         self._ports_in_use = 0
         self.time_wait_count = 0
@@ -65,22 +71,51 @@ class NetStack:
     # ------------------------------------------------------------------
     # listeners
     # ------------------------------------------------------------------
-    def add_listener(self, port: int, backlog: int) -> Listener:
-        if port in self._listeners:
-            raise SyscallError(EADDRINUSE, f"port {port} already listening")
-        listener = Listener(self, port, backlog)
-        self._listeners[port] = listener
-        return listener
+    def add_listener(self, port: int, backlog: int,
+                     reuse: bool = False) -> Listener:
+        """Bind a listener; with ``reuse`` several may share the port.
 
-    def remove_listener(self, port: int) -> None:
+        The first reuse-port bind wraps the port in a
+        :class:`ReusePortGroup`; later reuse binds join it.  Mixing a
+        plain bind with an existing binding (or vice versa) fails with
+        EADDRINUSE, as the real kernel's reuse-port check does.
+        """
+        entry = self._listeners.get(port)
+        if entry is None:
+            listener = Listener(self, port, backlog)
+            if reuse:
+                group = ReusePortGroup(self, port)
+                group.add(listener)
+                self._listeners[port] = group
+            else:
+                self._listeners[port] = listener
+            return listener
+        if reuse and isinstance(entry, ReusePortGroup):
+            listener = Listener(self, port, backlog)
+            entry.add(listener)
+            return listener
+        raise SyscallError(EADDRINUSE, f"port {port} already listening")
+
+    def remove_listener(self, port: int,
+                        member: Optional[Listener] = None) -> None:
+        """Unbind; for reuse-port groups only the closing member leaves,
+        and the port frees once the group empties."""
+        entry = self._listeners.get(port)
+        if isinstance(entry, ReusePortGroup) and member is not None:
+            entry.discard(member)
+            if entry.members:
+                return
         self._listeners.pop(port, None)
 
-    def get_listener(self, port: int) -> Optional[Listener]:
+    def get_listener(self, port: int):
+        """The port's binding: a Listener or a ReusePortGroup."""
         return self._listeners.get(port)
 
     def deliver_syn(self, client_end: TcpEndpoint, port: int) -> None:
         self.charge_rx(1)
         listener = self._listeners.get(port)
+        if isinstance(listener, ReusePortGroup):
+            listener = listener.select(client_end, self.reuseport_dispatch)
         if listener is None:
             self.counters.inc("tcp.syn_refused")
             self.charge_tx(1)  # the RST

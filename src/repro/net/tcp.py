@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from ..kernel.constants import (
     ECONNREFUSED,
@@ -369,6 +369,8 @@ class Listener:
         self.closed = False
         self.syn_drops = 0
         self.accepted_total = 0
+        #: SYNs a ReusePortGroup dispatched to this member
+        self.syns_routed = 0
         #: hook installed by the owning SocketFile
         self.notify: Callable[[int], None] = lambda band: None
 
@@ -409,7 +411,68 @@ class Listener:
             child.send_rst()
             child._finalize(time_wait=False)
         self.queue.clear()
-        self.stack.remove_listener(self.port)
+        self.stack.remove_listener(self.port, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Listener :{self.port} pending={len(self.queue)}/{self.backlog}>"
+
+
+def _shard_hash(value: int) -> int:
+    """Knuth multiplicative hash over a port number.
+
+    Deliberately *not* Python's ``hash()``, which is salted per
+    interpreter run and would make shard routing nondeterministic.
+    """
+    return ((value * 2654435761) & 0xFFFFFFFF) >> 16
+
+
+class ReusePortGroup:
+    """All listeners bound to one port with SO_REUSEPORT.
+
+    Each member keeps its own bounded accept queue; the group only
+    decides which member a SYN lands on.  ``hash`` dispatch keys on the
+    client's ephemeral port, so one client's retransmitted SYNs always
+    hit the same queue (as the real SO_REUSEPORT four-tuple hash does);
+    ``round-robin`` spreads strictly evenly.  A full member's queue
+    drops the SYN silently -- sharding removes the shared accept queue,
+    not the backlog limit.
+    """
+
+    def __init__(self, stack: "NetStack", port: int):
+        self.stack = stack
+        self.port = port
+        self.members: List[Listener] = []
+        self._rr = 0
+        #: SYNs dispatched through the group
+        self.routed = 0
+
+    def add(self, listener: Listener) -> None:
+        self.members.append(listener)
+
+    def discard(self, listener: Listener) -> None:
+        try:
+            self.members.remove(listener)
+        except ValueError:
+            pass
+
+    @property
+    def live(self) -> List[Listener]:
+        return [m for m in self.members if not m.closed]
+
+    def select(self, client_end: TcpEndpoint,
+               dispatch: str = "hash") -> Optional[Listener]:
+        """Pick the member for this SYN, or None when none are live."""
+        live = self.live
+        if not live:
+            return None
+        if dispatch == "round-robin":
+            listener = live[self._rr % len(live)]
+            self._rr += 1
+        else:
+            listener = live[_shard_hash(client_end.local_port) % len(live)]
+        listener.syns_routed += 1
+        self.routed += 1
+        return listener
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReusePortGroup :{self.port} members={len(self.members)}>"

@@ -29,7 +29,7 @@ Two attribution paths:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: historic un-dotted categories -> (subsystem, operation)
@@ -43,6 +43,7 @@ CATEGORY_ALIASES: Dict[str, Tuple[str, str]] = {
     "accept": ("syscall", "accept"),
     "socket": ("syscall", "socket"),
     "fdpass": ("syscall", "fdpass"),
+    "setsockopt": ("syscall", "setsockopt"),
     "softirq": ("softirq", "other"),
     "user": ("user", "compute"),
     "other": ("user", "other"),
@@ -72,6 +73,9 @@ class ProfileReport:
 
     rows: List[ProfileRow]
     total: float
+    #: per-CPU charged seconds (SMP runs); empty or {0: total} on
+    #: uniprocessor profiles, and omitted from as_dict() in that case
+    cpu_totals: Dict[int, float] = field(default_factory=dict)
 
     def by_subsystem(self) -> List[Tuple[str, float, float]]:
         """(subsystem, seconds, share) roll-up, largest first."""
@@ -93,7 +97,7 @@ class ProfileReport:
                    ) / self.total
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "total_cpu_seconds": self.total,
             "rows": [
                 {"subsystem": r.subsystem, "operation": r.operation,
@@ -101,6 +105,13 @@ class ProfileReport:
                  "samples": r.samples}
                 for r in self.rows],
         }
+        # only SMP profiles carry the key, so uniprocessor artifacts
+        # stay byte-identical to the pre-SMP format
+        if set(self.cpu_totals) - {0}:
+            data["cpu_seconds"] = {
+                str(cpu): secs
+                for cpu, secs in sorted(self.cpu_totals.items())}
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProfileReport":
@@ -118,7 +129,11 @@ class ProfileReport:
                        share=float(r["share"]),
                        samples=int(r["samples"]))
             for r in data.get("rows", [])]
-        return cls(rows=rows, total=float(data["total_cpu_seconds"]))
+        cpu_totals = {
+            int(cpu): float(secs)
+            for cpu, secs in data.get("cpu_seconds", {}).items()}  # type: ignore[union-attr]
+        return cls(rows=rows, total=float(data["total_cpu_seconds"]),
+                   cpu_totals=cpu_totals)
 
     def render(self, top: Optional[int] = None,
                title: str = "simulated-CPU attribution") -> str:
@@ -149,6 +164,10 @@ class ProfileReport:
             lines.append(f"... {omitted} smaller row(s) omitted "
                          f"({rest * 1e3:.3f} ms)")
         lines.append(f"total charged CPU: {self.total * 1e3:.3f} ms")
+        if set(self.cpu_totals) - {0}:
+            lines.append("per-CPU: " + "  ".join(
+                f"cpu{cpu} {secs * 1e3:.3f} ms"
+                for cpu, secs in sorted(self.cpu_totals.items())))
         return "\n".join(lines)
 
 
@@ -163,17 +182,22 @@ class CpuProfiler:
     def __init__(self) -> None:
         self.times: Dict[Tuple[str, str], float] = {}
         self.samples: Dict[Tuple[str, str], int] = {}
+        #: charged seconds per executing CPU index; one profiler may be
+        #: shared by every CPU of an SMP domain
+        self.cpu_times: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     def record(self, category: str, seconds: float,
-               breakdown: Optional[Sequence[Tuple[str, float]]] = None
-               ) -> None:
+               breakdown: Optional[Sequence[Tuple[str, float]]] = None,
+               cpu: int = 0) -> None:
         """Attribute one dispatched CPU grant.
 
         Called by :class:`~repro.sim.resources.CPU` with the
         speed-scaled duration; ``breakdown`` itemizes the grant into
-        (operation, seconds) parts under the category's subsystem.
+        (operation, seconds) parts under the category's subsystem, and
+        ``cpu`` is the index of the CPU that executed the grant.
         """
+        self.cpu_times[cpu] = self.cpu_times.get(cpu, 0.0) + seconds
         if breakdown is not None:
             subsystem = split_category(category)[0]
             for operation, part in breakdown:
@@ -198,6 +222,7 @@ class CpuProfiler:
     def clear(self) -> None:
         self.times.clear()
         self.samples.clear()
+        self.cpu_times.clear()
 
     def report(self) -> ProfileReport:
         total = self.total
@@ -206,4 +231,5 @@ class CpuProfiler:
             ProfileRow(sub, op, secs, secs / denom, self.samples[(sub, op)])
             for (sub, op), secs in self.times.items()]
         rows.sort(key=lambda r: -r.seconds)
-        return ProfileReport(rows=rows, total=total)
+        return ProfileReport(rows=rows, total=total,
+                             cpu_totals=dict(self.cpu_times))

@@ -56,8 +56,12 @@ class Span:
     #: who opened the span -- a simulated process (or any hashable
     #: token), or None for spans begun outside process context.  Depth
     #: counts nesting *within* one track, so spans from concurrent
-    #: processes never inflate each other's depth.
+    #: processes never inflate each other's depth.  SMP kernels track by
+    #: ``(process, cpu)`` so a migrated process's spans nest per CPU.
     track: Optional[object] = None
+    #: index of the simulated CPU executing the span (None when the
+    #: kernel has a single implicit CPU)
+    cpu: Optional[int] = None
 
     @property
     def time(self) -> float:
@@ -104,20 +108,21 @@ class SpanTracer:
             self._append(TraceRecord(now, subsystem, message))
 
     def begin(self, now: float, subsystem: str, name: str, *,
-              track: Optional[object] = None,
+              track: Optional[object] = None, cpu: Optional[int] = None,
               **attrs: object) -> Optional[Span]:
         """Open a nested span; returns None when tracing is disabled.
 
         ``track`` identifies the (simulated) process opening the span;
         each track nests independently, so two concurrent processes'
         spans carry their own depths instead of interleaving on one
-        global counter.
+        global counter.  ``cpu`` records which simulated CPU executed
+        the span (SMP kernels pass it; uniprocessor spans leave None).
         """
         if not self.enabled:
             return None
         stack = self._stacks.setdefault(track, [])
         span = Span(subsystem, name, now, depth=len(stack), attrs=attrs,
-                    track=track)
+                    track=track, cpu=cpu)
         stack.append(span)
         return span
 
@@ -196,13 +201,19 @@ class SpanTracer:
             }) + "\n")
             for r in self._ring:
                 if isinstance(r, Span):
+                    # SMP kernels track spans by (process, cpu); name
+                    # the process and let "cpu" carry the CPU index
+                    track = r.track
+                    if isinstance(track, tuple) and track:
+                        track = track[0]
                     out.write(json.dumps({
                         "type": "span", "subsystem": r.subsystem,
                         "name": r.name, "start": r.start, "end": r.end,
                         "depth": r.depth,
-                        "track": (None if r.track is None
-                                  else getattr(r.track, "name",
-                                               repr(r.track))),
+                        "track": (None if track is None
+                                  else getattr(track, "name",
+                                               repr(track))),
+                        "cpu": r.cpu,
                         "attrs": {k: repr(v) if not isinstance(
                             v, (int, float, str, bool, type(None))) else v
                             for k, v in r.attrs.items()},

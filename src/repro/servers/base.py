@@ -95,6 +95,9 @@ class ServerConfig:
     #: RT-signal queue bound for the server task (None = kernel default,
     #: 1024 -- "normally set high enough that it is never exceeded")
     rtsig_max: Optional[int] = None
+    #: bind the listener with SO_REUSEPORT so prefork workers each get
+    #: their own accept queue on the shared port
+    reuse_port: bool = False
 
 
 @dataclass
@@ -202,6 +205,10 @@ class BaseServer:
 
         sys = self.sys
         fd = yield from sys.socket()
+        if self.config.reuse_port:
+            from ..kernel.constants import SO_REUSEPORT, SOL_SOCKET
+
+            yield from sys.setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, 1)
         yield from sys.bind(fd, self.config.port)
         yield from sys.listen(fd, self.config.backlog)
         yield from sys.fcntl(fd, F_SETFL, O_NONBLOCK)

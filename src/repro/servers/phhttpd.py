@@ -44,8 +44,8 @@ from ..kernel.constants import (
     POLLIN,
     POLLOUT,
 )
-from ..sim.process import spawn
 from .base import READING, WRITING, BaseServer, Connection, ServerConfig
+from .pool import WorkerPool
 from .thttpd import ThttpdServer
 
 
@@ -67,8 +67,8 @@ class _PollSibling(ThttpdServer):
 
     def __init__(self, parent: "PhhttpdServer", handoff_fd: int):
         BaseServer.__init__(self, parent.kernel, parent.site, parent.config)
-        self.stats = parent.stats  # one combined scoreboard
-        self.request_latency = parent.request_latency
+        # the parent's pool adopts this worker right after construction,
+        # pointing stats/request_latency at the combined scoreboard
         self.parent = parent
         self.handoff_fd = handoff_fd
         self.took_over = False
@@ -123,6 +123,9 @@ class PhhttpdServer(BaseServer):
         self.handoffs = 0
         self.handoff_fd = -1
         self.sibling: Optional[_PollSibling] = None
+        #: the worker/sibling pair shares one scoreboard through a pool
+        self.pool = WorkerPool(kernel, stats=self.stats,
+                               request_latency=self.request_latency)
 
     @property
     def allocator(self):
@@ -145,15 +148,13 @@ class PhhttpdServer(BaseServer):
         # the overflow partner: a separate task with its own fd table,
         # reachable over a UNIX domain socketpair (fork-style inheritance)
         worker_end, sibling_end = yield from sys.socketpair()
-        sibling_file = self.task.fdtable.get(sibling_end)
         self.sibling = _PollSibling(self, handoff_fd=-1)
-        sibling_fd = self.sibling.task.fdtable.alloc(sibling_file)
-        self.sibling.handoff_fd = sibling_fd
+        self.pool.adopt(self.sibling)
+        self.sibling.handoff_fd = self.pool.inherit_fd(
+            self, sibling_end, self.sibling)
         yield from sys.close(sibling_end)
         self.handoff_fd = worker_end
-        self.sibling.running = True
-        self.sibling._process = spawn(
-            sim, self.sibling.run(), name=self.sibling.name)
+        self.pool.spawn_worker(self.sibling)
 
         next_sweep = sim.now + cfg.timer_interval
 
@@ -224,8 +225,7 @@ class PhhttpdServer(BaseServer):
     # ------------------------------------------------------------------
     def stop(self) -> None:
         super().stop()
-        if self.sibling is not None:
-            self.sibling.running = False
+        self.pool.stop()
 
     @property
     def signal_queue_depth(self) -> int:

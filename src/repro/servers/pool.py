@@ -1,0 +1,116 @@
+"""Prefork worker pools.
+
+phhttpd's overflow recovery forks a poll()-driven sibling; that pattern
+-- several event-loop processes sharing one scoreboard and one listening
+port -- generalizes to the classic prefork design every 2.x-era server
+used to exploit SMP.  :class:`WorkerPool` packages the shared pieces:
+
+* one :class:`~repro.servers.base.ServerStats` and latency histogram
+  that every worker writes into, so the harness reads pool totals from
+  the usual attributes;
+* fd inheritance between workers (the fork's shared fd table, or an
+  SCM_RIGHTS handoff that already paid its simulated cost);
+* spawning with CPU pinning, one worker per simulated CPU round-robin.
+
+In prefork mode (:meth:`start`) the pool builds N workers from a
+factory, each binding the same port with SO_REUSEPORT so the stack
+shards accepts across their private queues.  The pool quacks like a
+single server (``stats``, ``request_latency``, ``start``, ``stop``), so
+the benchmark harness drives it unchanged.
+
+Any ``BaseServer`` subclass works as a worker: the PR-5 event-backend
+seam means the pool never needs to know which readiness mechanism a
+worker's loop uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..obs.latency import LatencyHistogram
+from ..sim.process import Process
+from .base import BaseServer, ServerStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+
+class WorkerPool:
+    """A set of sibling event-loop servers acting as one service."""
+
+    def __init__(self, kernel: "Kernel",
+                 factory: Optional[Callable[[int], BaseServer]] = None,
+                 workers: int = 1,
+                 stats: Optional[ServerStats] = None,
+                 request_latency: Optional[LatencyHistogram] = None,
+                 pin_workers: bool = True):
+        if workers < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        self.kernel = kernel
+        self.factory = factory
+        self.size = workers
+        #: shared scoreboard -- every adopted worker records into these
+        self.stats = stats if stats is not None else ServerStats()
+        self.request_latency = (request_latency if request_latency
+                                is not None else LatencyHistogram())
+        self.workers: List[BaseServer] = []
+        self.pin_workers = pin_workers
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def adopt(self, worker: BaseServer) -> BaseServer:
+        """Point a worker's accounting at the pool's shared scoreboard."""
+        worker.stats = self.stats
+        worker.request_latency = self.request_latency
+        self.workers.append(worker)
+        return worker
+
+    @staticmethod
+    def inherit_fd(giver: BaseServer, fd: int,
+                   receiver: BaseServer) -> int:
+        """Install ``giver``'s open file ``fd`` into ``receiver``'s fd
+        table (the forked child inheriting a descriptor); returns the
+        receiver-side fd number."""
+        file = giver.task.fdtable.get(fd)
+        return receiver.task.fdtable.alloc(file)
+
+    def spawn_worker(self, worker: BaseServer,
+                     cpu_index: Optional[int] = None) -> Process:
+        """Start a worker's event loop, optionally pinned to one CPU."""
+        proc = worker.start()
+        if self.pin_workers and cpu_index is not None:
+            worker.kernel.pin(proc, cpu_index)
+        return proc
+
+    # ------------------------------------------------------------------
+    # prefork lifecycle (server facade for the harness)
+    # ------------------------------------------------------------------
+    def start(self) -> List[BaseServer]:
+        """Prefork: build ``size`` workers and pin them round-robin."""
+        if self.factory is None:
+            raise ValueError("prefork start() needs a worker factory")
+        ncpus = len(self.kernel.cpus)
+        for i in range(self.size):
+            worker = self.factory(i)
+            self.adopt(worker)
+            self.spawn_worker(worker, cpu_index=i % ncpus)
+        self.running = True
+        return self.workers
+
+    def stop(self) -> None:
+        self.running = False
+        for worker in self.workers:
+            worker.stop()
+
+    # aggregate view over the members' private connection tables
+    @property
+    def conns(self):
+        merged = {}
+        for worker in self.workers:
+            merged.update(worker.conns)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WorkerPool {len(self.workers)}/{self.size} workers>"

@@ -46,6 +46,9 @@ class CPU:
         #: relative speed multiplier; charges are divided by this, so a
         #: ``speed=2.0`` CPU does the same work in half the time.
         self.speed = speed
+        #: position within an SMP domain (0 for uniprocessor kernels);
+        #: stamped by the domain so profiler charges carry their CPU
+        self.index = 0
         self._queues: Dict[int, Deque[Tuple[Event, float, str, Optional[
             Tuple[Tuple[str, float], ...]]]]] = {
             p: deque() for p in _PRIORITIES
@@ -105,7 +108,8 @@ class CPU:
                     self.busy_by_category.get(category, 0.0) + duration
                 )
                 if self.profiler is not None:
-                    self.profiler.record(category, duration, breakdown)
+                    self.profiler.record(category, duration, breakdown,
+                                         cpu=self.index)
                 self.sim.schedule(duration, self._finish, done)
                 return
         self._busy = False
@@ -118,6 +122,12 @@ class CPU:
     @property
     def queued(self) -> int:
         return sum(len(q) for q in self._queues.values())
+
+    @property
+    def busy(self) -> bool:
+        """Whether a grant is executing right now (run-queue load input
+        for the least-loaded scheduler policy)."""
+        return self._busy
 
     def utilization(self, since: Optional[float] = None) -> float:
         """Fraction of wall-clock time this CPU has been busy."""

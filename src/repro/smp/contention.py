@@ -1,0 +1,131 @@
+"""Analytic contention models for shared kernel structures.
+
+On a real SMP kernel a CPU that wants a contended lock spins (or sleeps)
+until the holder releases it.  The simulated locks here do not block the
+acquiring process -- lock hints fire from plain callback context where no
+generator is suspended -- so they use an *analytic* model instead: each
+lock tracks the absolute simulated time at which it next becomes free
+(``free_at``), and ``acquire`` returns the wait an acquirer arriving
+*now* would have observed.  The caller charges that wait as spin time on
+the acquiring CPU, which serializes subsequent work on that CPU exactly
+as a real spin would.
+
+Two refinements keep the model honest:
+
+* **Same-CPU exemption.**  Work on one simulated CPU is already
+  serialized by that CPU's run queue, so a lock re-taken by the CPU that
+  holds it charges no wait (a real kernel cannot contend with itself on
+  a spinlock; with the BKL it would deadlock).  The hold window is still
+  extended so *other* CPUs observe the combined critical section.
+* **Reader concurrency.**  The rwlock lets readers overlap: a new reader
+  only waits for the writer hold to drain, never for other readers, and
+  the aggregate reader window is the max (not the sum) of overlapping
+  reader holds.  Writers wait for both the writer and reader windows.
+
+All times are wall-clock simulated seconds (i.e. already divided by the
+owning CPU's speed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SpinContention:
+    """A single exclusive lock -- the stand-in for the big kernel lock.
+
+    2.2-era Linux ran ``select``/``poll``/``ioctl`` under the big kernel
+    lock, so every backend's kernel-side readiness scan serializes here.
+    The *length* of the hold is what differentiates backends: select and
+    poll hold it for their O(watched-fds) scan, /dev/poll and epoll only
+    for their O(ready) harvest.
+    """
+
+    def __init__(self, name: str = "lock"):
+        self.name = name
+        #: absolute sim time at which the current hold drains
+        self.free_at = 0.0
+        #: CPU index of the most recent holder (same-CPU exemption)
+        self.owner_cpu: Optional[int] = None
+        self.acquisitions = 0
+        self.contended = 0
+        self.wait_seconds = 0.0
+        self.hold_seconds = 0.0
+
+    def acquire(self, now: float, hold: float, cpu: int) -> float:
+        """Take the lock at ``now`` for ``hold`` seconds from ``cpu``.
+
+        Returns the spin-wait in seconds (0.0 when uncontended or when
+        ``cpu`` already holds the lock).
+        """
+        self.acquisitions += 1
+        wait = 0.0
+        if self.free_at > now and self.owner_cpu != cpu:
+            wait = self.free_at - now
+            self.contended += 1
+            self.wait_seconds += wait
+        start = max(now, self.free_at)
+        self.free_at = start + hold
+        self.hold_seconds += hold
+        self.owner_cpu = cpu
+        return wait
+
+
+class RwContention:
+    """A read-write lock with concurrent readers.
+
+    Models the single rwlock the paper says protects *all* backmapping
+    lists ("a single read-write lock... the current implementation is
+    not expected to perform well on SMP machines" -- the flagged future
+    work this subsystem exists to measure).  Readers are the wakeup
+    hints marking backmap interest sets; writers are ``epoll_ctl``/
+    ``/dev/poll`` interest registration and removal.
+    """
+
+    def __init__(self, name: str = "rwlock"):
+        self.name = name
+        #: when the aggregate overlapping-reader window drains
+        self.readers_free_at = 0.0
+        #: when the current writer hold drains
+        self.writer_free_at = 0.0
+        self.writer_cpu: Optional[int] = None
+        #: CPU of the reader whose hold set ``readers_free_at``; the
+        #: same-CPU exemption for writers keys off this (approximate --
+        #: the aggregate window does not remember every reader's CPU)
+        self.last_reader_cpu: Optional[int] = None
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+        self.read_contended = 0
+        self.write_contended = 0
+        self.read_wait_seconds = 0.0
+        self.write_wait_seconds = 0.0
+
+    def read_acquire(self, now: float, hold: float, cpu: int) -> float:
+        """A reader takes the lock; waits only for a writer hold."""
+        self.read_acquisitions += 1
+        wait = 0.0
+        if self.writer_free_at > now and self.writer_cpu != cpu:
+            wait = self.writer_free_at - now
+            self.read_contended += 1
+            self.read_wait_seconds += wait
+        start = now + wait
+        # readers overlap: extend the aggregate window, don't stack holds
+        self.readers_free_at = max(self.readers_free_at, start + hold)
+        self.last_reader_cpu = cpu
+        return wait
+
+    def write_acquire(self, now: float, hold: float, cpu: int) -> float:
+        """A writer takes the lock; waits for writer *and* reader holds."""
+        self.write_acquisitions += 1
+        blocked_until = now
+        if self.writer_cpu != cpu:
+            blocked_until = max(blocked_until, self.writer_free_at)
+        if self.last_reader_cpu != cpu:
+            blocked_until = max(blocked_until, self.readers_free_at)
+        wait = blocked_until - now
+        if wait > 0:
+            self.write_contended += 1
+            self.write_wait_seconds += wait
+        self.writer_free_at = blocked_until + hold
+        self.writer_cpu = cpu
+        return wait

@@ -14,7 +14,8 @@ TINY = dict(rates=(150,), duration=1.5, seed=2)
 
 
 def test_registry_covers_every_evaluation_figure():
-    assert sorted(ALL_FIGURES) == [f"fig{n:02d}" for n in range(4, 15)]
+    assert sorted(ALL_FIGURES) == ([f"fig{n:02d}" for n in range(4, 15)]
+                                   + ["fig_smp"])
 
 
 def test_reply_rate_figure_structure():

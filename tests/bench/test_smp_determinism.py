@@ -1,0 +1,79 @@
+"""SMP determinism contract.
+
+Two halves: (a) ``--cpus 1 --workers 1`` must be invisible -- records and
+fingerprints byte-identical to a run that never heard of SMP -- and (b)
+multi-CPU runs must be reproducible run-to-run, so fig_smp and the CI
+matrix leg are diffable artifacts rather than noise.
+"""
+
+from dataclasses import replace
+
+from repro.bench.harness import BenchmarkPoint, run_point
+from repro.bench.records import point_record
+from repro.bench.suites import (BenchSuite, point_config, run_suite,
+                                suite_fingerprint)
+
+#: small enough to keep the tier-1 suite fast, busy enough to exercise
+#: accept sharding and both workers
+POINT = BenchmarkPoint(server="thttpd", rate=100.0, inactive=5, duration=1.0)
+SMP_POINT = replace(POINT, cpus=2, workers=2)
+
+
+def test_default_record_has_no_smp_keys():
+    record = point_record(run_point(POINT))
+    for key in ("cpus", "workers", "dispatch", "bandwidth_bps"):
+        assert key not in record
+
+
+def test_cpus1_workers1_is_byte_identical_to_the_default():
+    """Explicitly passing the defaults must not perturb a single byte of
+    the record -- the CI 1x1 matrix leg gates on the pre-SMP baseline."""
+    baseline = point_record(run_point(POINT))
+    explicit = point_record(run_point(replace(POINT, cpus=1, workers=1)))
+    assert explicit == baseline
+
+
+def test_smp_record_carries_config_and_reruns_identically():
+    first = point_record(run_point(SMP_POINT))
+    assert first["cpus"] == 2
+    assert first["workers"] == 2
+    assert "dispatch" not in first  # "hash" is the default
+    second = point_record(run_point(SMP_POINT))
+    assert second == first
+
+
+def test_round_robin_dispatch_is_recorded():
+    record = point_record(run_point(
+        replace(SMP_POINT, dispatch="round-robin")))
+    assert record["dispatch"] == "round-robin"
+
+
+def test_bandwidth_override_is_recorded():
+    config = point_config(replace(POINT, bandwidth_bps=1e9))
+    assert config["bandwidth_bps"] == 1e9
+
+
+def test_fingerprint_distinguishes_smp_retargets():
+    suite = BenchSuite("tiny", "one point", (POINT,))
+    base = suite_fingerprint(suite)
+    retargeted = BenchSuite("tiny", "one point",
+                            (replace(POINT, cpus=2, workers=2),))
+    assert suite_fingerprint(retargeted) != base
+    # the no-op retarget hashes identically
+    explicit = BenchSuite("tiny", "one point",
+                          (replace(POINT, cpus=1, workers=1),))
+    assert suite_fingerprint(explicit) == base
+
+
+def test_run_suite_retargets_and_marks_the_artifact():
+    suite = BenchSuite("tiny", "one point", (POINT,))
+    artifact = run_suite(suite, cpus=2, workers=2, selfperf=False)
+    assert artifact["cpus"] == 2
+    assert artifact["workers"] == 2
+    entry = artifact["points"][0]
+    assert entry["cpus"] == 2
+    assert entry["workers"] == 2
+    assert entry["server_stats"]["responses"] > 0
+    retargeted = BenchSuite("tiny", suite.description,
+                            (replace(POINT, cpus=2, workers=2),))
+    assert artifact["fingerprint"] == suite_fingerprint(retargeted)

@@ -1,0 +1,157 @@
+"""SO_REUSEPORT accept sharding: groups, dispatch, and the setsockopt path."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.kernel.constants import (EADDRINUSE, ENOPROTOOPT, SO_REUSEPORT,
+                                    SOL_SOCKET, SyscallError)
+from repro.kernel.kernel import Kernel
+from repro.net.link import Network
+from repro.net.stack import NetStack
+from repro.net.tcp import ReusePortGroup, _shard_hash
+from repro.sim.process import spawn
+
+
+@pytest.fixture
+def stack(sim):
+    kernel = Kernel(sim, "host")
+    return NetStack(kernel, Network(sim))
+
+
+def client(port):
+    """Stub client endpoint: dispatch only reads ``local_port``."""
+    return SimpleNamespace(local_port=port)
+
+
+# ---------------------------------------------------------------------------
+# hash
+# ---------------------------------------------------------------------------
+
+def test_shard_hash_is_deterministic_and_spreads():
+    assert _shard_hash(1025) == _shard_hash(1025)
+    buckets = {_shard_hash(port) % 4 for port in range(1024, 1088)}
+    assert buckets == {0, 1, 2, 3}
+
+
+# ---------------------------------------------------------------------------
+# binding semantics
+# ---------------------------------------------------------------------------
+
+def test_reuse_binds_share_a_port(stack):
+    first = stack.add_listener(80, backlog=4, reuse=True)
+    second = stack.add_listener(80, backlog=4, reuse=True)
+    group = stack.get_listener(80)
+    assert isinstance(group, ReusePortGroup)
+    assert group.members == [first, second]
+
+
+def test_mixing_plain_and_reuse_fails_both_ways(stack):
+    stack.add_listener(80, backlog=4)
+    with pytest.raises(SyscallError) as err:
+        stack.add_listener(80, backlog=4, reuse=True)
+    assert err.value.errno_code == EADDRINUSE
+    stack.add_listener(81, backlog=4, reuse=True)
+    with pytest.raises(SyscallError) as err:
+        stack.add_listener(81, backlog=4)
+    assert err.value.errno_code == EADDRINUSE
+
+
+def test_port_frees_only_when_the_group_empties(stack):
+    first = stack.add_listener(80, backlog=4, reuse=True)
+    second = stack.add_listener(80, backlog=4, reuse=True)
+    stack.remove_listener(80, member=first)
+    assert isinstance(stack.get_listener(80), ReusePortGroup)
+    stack.remove_listener(80, member=second)
+    assert stack.get_listener(80) is None
+    # the port is reusable as a plain bind again
+    stack.add_listener(80, backlog=4)
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+def test_hash_dispatch_is_stable_per_client_and_spreads(stack):
+    members = [stack.add_listener(80, backlog=64, reuse=True)
+               for _ in range(4)]
+    group = stack.get_listener(80)
+    # same client port -> same member (SYN retransmits hit one queue)
+    picks = {group.select(client(2000)) for _ in range(5)}
+    assert len(picks) == 1
+    # a spread of client ports reaches every member
+    for port in range(1024, 1280):
+        group.select(client(port))
+    assert all(m.syns_routed > 0 for m in members)
+    assert group.routed == 5 + 256
+
+
+def test_round_robin_cycles_exactly(stack):
+    members = [stack.add_listener(80, backlog=64, reuse=True)
+               for _ in range(3)]
+    group = stack.get_listener(80)
+    order = [group.select(client(2000), dispatch="round-robin")
+             for _ in range(6)]
+    assert order == members + members
+
+
+def test_closed_members_are_skipped(stack):
+    first = stack.add_listener(80, backlog=64, reuse=True)
+    second = stack.add_listener(80, backlog=64, reuse=True)
+    first.closed = True
+    assert group_live(stack) == [second]
+    for port in range(1024, 1056):
+        assert stack.get_listener(80).select(client(port)) is second
+
+
+def group_live(stack):
+    return stack.get_listener(80).live
+
+
+def test_empty_group_selects_none(stack):
+    listener = stack.add_listener(80, backlog=64, reuse=True)
+    listener.closed = True
+    assert stack.get_listener(80).select(client(2000)) is None
+
+
+# ---------------------------------------------------------------------------
+# the syscall path
+# ---------------------------------------------------------------------------
+
+def test_setsockopt_reuseport_flows_into_listen(hosts):
+    sys_a = hosts.server_sys("a")
+    sys_b = hosts.server_sys("b")
+    done = []
+
+    def worker(sys):
+        def body():
+            fd = yield from sys.socket()
+            yield from sys.setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, 1)
+            yield from sys.bind(fd, 80)
+            yield from sys.listen(fd, 16)
+            done.append(fd)
+        return body
+
+    spawn(hosts.sim, worker(sys_a)(), "a")
+    spawn(hosts.sim, worker(sys_b)(), "b")
+    hosts.sim.run(until=1.0)
+    assert len(done) == 2
+    group = hosts.server_stack.get_listener(80)
+    assert isinstance(group, ReusePortGroup)
+    assert len(group.members) == 2
+
+
+def test_setsockopt_unknown_option_raises(hosts):
+    sys = hosts.server_sys()
+    errors = []
+
+    def body():
+        fd = yield from sys.socket()
+        try:
+            yield from sys.setsockopt(fd, SOL_SOCKET, 999)
+        except SyscallError as err:
+            errors.append(err.errno_code)
+
+    spawn(hosts.sim, body(), "t")
+    hosts.sim.run(until=1.0)
+    assert errors == [ENOPROTOOPT]

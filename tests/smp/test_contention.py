@@ -1,0 +1,117 @@
+"""Analytic lock models: BKL spin contention and the backmap rwlock."""
+
+import pytest
+
+from repro.smp.contention import RwContention, SpinContention
+
+
+# ---------------------------------------------------------------------------
+# SpinContention (the big kernel lock)
+# ---------------------------------------------------------------------------
+
+def test_uncontended_acquire_is_free():
+    lock = SpinContention("bkl")
+    assert lock.acquire(0.0, 0.002, cpu=0) == 0.0
+    assert lock.acquisitions == 1
+    assert lock.contended == 0
+    assert lock.wait_seconds == 0.0
+    assert lock.free_at == pytest.approx(0.002)
+
+
+def test_cross_cpu_acquire_waits_for_the_hold_to_drain():
+    lock = SpinContention("bkl")
+    lock.acquire(0.0, 0.002, cpu=0)
+    wait = lock.acquire(0.0005, 0.001, cpu=1)
+    assert wait == pytest.approx(0.0015)  # 0.002 - 0.0005
+    assert lock.contended == 1
+    assert lock.wait_seconds == pytest.approx(0.0015)
+    # the new hold starts when the old one drains, not at `now`
+    assert lock.free_at == pytest.approx(0.003)
+
+
+def test_same_cpu_reacquire_never_spins():
+    """A CPU cannot contend with itself on a spinlock (with the BKL it
+    would deadlock), so the same-CPU path charges no wait..."""
+    lock = SpinContention("bkl")
+    lock.acquire(0.0, 0.002, cpu=0)
+    assert lock.acquire(0.0, 0.002, cpu=0) == 0.0
+    assert lock.contended == 0
+    # ...but still extends the hold window for *other* CPUs
+    assert lock.free_at == pytest.approx(0.004)
+    assert lock.acquire(0.0, 0.001, cpu=1) == pytest.approx(0.004)
+
+
+def test_old_holds_drain_with_time():
+    lock = SpinContention("bkl")
+    lock.acquire(0.0, 0.002, cpu=0)
+    assert lock.acquire(0.01, 0.002, cpu=1) == 0.0  # long gone
+
+
+def test_hold_seconds_accumulate():
+    lock = SpinContention("bkl")
+    lock.acquire(0.0, 0.002, cpu=0)
+    lock.acquire(1.0, 0.003, cpu=1)
+    assert lock.hold_seconds == pytest.approx(0.005)
+
+
+# ---------------------------------------------------------------------------
+# RwContention (the single backmap rwlock)
+# ---------------------------------------------------------------------------
+
+def test_readers_overlap_without_waiting():
+    rw = RwContention("backmap")
+    assert rw.read_acquire(0.0, 0.001, cpu=0) == 0.0
+    assert rw.read_acquire(0.0, 0.001, cpu=1) == 0.0
+    assert rw.read_contended == 0
+    # aggregate reader window is the max of the overlapping holds
+    assert rw.readers_free_at == pytest.approx(0.001)
+
+
+def test_reader_waits_for_cross_cpu_writer():
+    rw = RwContention("backmap")
+    rw.write_acquire(0.0, 0.002, cpu=1)
+    wait = rw.read_acquire(0.0005, 0.001, cpu=0)
+    assert wait == pytest.approx(0.0015)
+    assert rw.read_contended == 1
+    assert rw.read_wait_seconds == pytest.approx(0.0015)
+
+
+def test_reader_exempt_on_writer_cpu():
+    rw = RwContention("backmap")
+    rw.write_acquire(0.0, 0.002, cpu=1)
+    assert rw.read_acquire(0.0, 0.001, cpu=1) == 0.0
+
+
+def test_writer_waits_for_both_windows():
+    rw = RwContention("backmap")
+    rw.read_acquire(0.0, 0.003, cpu=0)     # readers drain at 0.003
+    rw.write_acquire(0.0, 0.001, cpu=1)    # waits for readers, then holds
+    assert rw.write_contended == 1
+    assert rw.write_wait_seconds == pytest.approx(0.003)
+    assert rw.writer_free_at == pytest.approx(0.004)
+    # a third-CPU writer now waits for the prior writer hold
+    wait = rw.write_acquire(0.0, 0.001, cpu=2)
+    assert wait == pytest.approx(0.004)
+
+
+def test_writer_exempt_on_own_cpu():
+    rw = RwContention("backmap")
+    rw.write_acquire(0.0, 0.002, cpu=1)
+    assert rw.write_acquire(0.0, 0.002, cpu=1) == 0.0
+    assert rw.write_contended == 0
+
+
+def test_writer_exempt_from_same_cpu_reader_window():
+    rw = RwContention("backmap")
+    rw.read_acquire(0.0, 0.003, cpu=1)
+    # the reader ran on this writer's own CPU: already serialized there
+    assert rw.write_acquire(0.0, 0.001, cpu=1) == 0.0
+
+
+def test_stats_counters():
+    rw = RwContention("backmap")
+    rw.read_acquire(0.0, 0.001, cpu=0)
+    rw.write_acquire(0.0, 0.001, cpu=1)
+    rw.read_acquire(0.0, 0.001, cpu=0)
+    assert rw.read_acquisitions == 2
+    assert rw.write_acquisitions == 1

@@ -1,0 +1,102 @@
+"""Process-to-CPU placement: sticky round-robin, pins, least-loaded."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.smp.scheduler import POLICIES, Scheduler
+
+
+class FakeCpu:
+    def __init__(self, queued=0, busy=False):
+        self.queued = queued
+        self.busy = busy
+
+
+def make_sched(n=4, policy="sticky", cpus=None):
+    return Scheduler(cpus if cpus is not None else [FakeCpu() for _ in
+                                                    range(n)], policy=policy)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        make_sched(policy="work-stealing")
+    assert POLICIES == ("sticky", "least-loaded")
+
+
+def test_first_touch_round_robins_across_cpus():
+    sched = make_sched(4)
+    procs = [object() for _ in range(6)]
+    targets = [sched.route(p)[0] for p in procs]
+    assert targets == [0, 1, 2, 3, 0, 1]
+    assert sched.assignments == 6
+    assert sched.migrations == 0
+
+
+def test_sticky_processes_stay_put():
+    sched = make_sched(4)
+    proc = object()
+    first, migrated = sched.route(proc)
+    assert not migrated
+    for _ in range(5):
+        target, migrated = sched.route(proc)
+        assert target == first
+        assert not migrated
+    assert sched.migrations == 0
+    assert sched.last_cpu(proc) == first
+
+
+def test_pin_overrides_policy_and_counts_the_migration():
+    sched = make_sched(4)
+    proc = object()
+    assert sched.route(proc) == (0, False)  # first touch lands on cpu0
+    sched.pin(proc, 2)
+    assert sched.pins[proc] == 2
+    target, migrated = sched.route(proc)
+    assert (target, migrated) == (2, True)
+    assert sched.migrations == 1
+    # once moved, the pin keeps it there with no further migrations
+    assert sched.route(proc) == (2, False)
+    assert sched.migrations == 1
+
+
+def test_pin_out_of_range_raises():
+    sched = make_sched(4)
+    with pytest.raises(ValueError):
+        sched.pin(object(), 4)
+    with pytest.raises(ValueError):
+        sched.pin(object(), -1)
+
+
+def test_cpu_index_for_does_not_track_migrations():
+    sched = make_sched(2)
+    proc = object()
+    idx = sched.cpu_index_for(proc)
+    assert idx == sched.cpu_index_for(proc)  # stable
+    assert sched.migrations == 0
+
+
+def test_least_loaded_routes_to_emptiest_queue():
+    cpus = [FakeCpu(queued=2), FakeCpu(queued=0, busy=True),
+            FakeCpu(queued=0), FakeCpu(queued=1)]
+    sched = make_sched(policy="least-loaded", cpus=cpus)
+    target, _ = sched.route(object())
+    assert target == 2  # queued 0, idle
+
+
+def test_least_loaded_ties_break_to_lowest_index():
+    cpus = [FakeCpu(), FakeCpu(), FakeCpu()]
+    sched = make_sched(policy="least-loaded", cpus=cpus)
+    target, _ = sched.route(object())
+    assert target == 0
+
+
+def test_kernel_pin_reaches_the_scheduler(sim):
+    kernel = Kernel(sim, "smp", num_cpus=2)
+    proc = object()
+    kernel.pin(proc, 1)
+    assert kernel.smp.scheduler.pins[proc] == 1
+
+
+def test_uniprocessor_pin_is_a_noop(kernel):
+    kernel.pin(object(), 0)  # no SMP domain; must not raise
+    assert kernel.smp is None

@@ -16,6 +16,13 @@ Subcommands:
                                    nonzero on regression (the CI gate)
 * ``selfperf``                  -- measure the harness's own speed
                                    (simulator events per host second)
+* ``capacity``                  -- binary-search the saturation knee of
+                                   every (backend x load x SMP) cell,
+                                   write ``CAPACITY_<name>.json`` and a
+                                   self-contained HTML report
+* ``report ARTIFACT``           -- re-render the HTML report from an
+                                   existing capacity artifact
+                                   (byte-identical for the same input)
 
 ``bench`` and ``figures`` accept ``--jobs N`` to fan independent
 benchmark points across worker processes; every point is a seeded,
@@ -80,6 +87,9 @@ def cmd_info(_args) -> int:
           "CPU to (subsystem, operation)")
     print("bench   : `repro bench --suite smoke --out BENCH_smoke.json`, "
           "then `repro compare OLD NEW` gates on regressions")
+    print("capacity: `repro capacity --backends select,epoll --inactive "
+          "1,251 --jobs 2 --out report.html` maps the saturation knees "
+          "and renders a self-contained HTML report")
     print("docs    : README.md, DESIGN.md, EXPERIMENTS.md, "
           "docs/observability.md")
     return 0
@@ -309,6 +319,79 @@ def cmd_selfperf(args) -> int:
     return 0
 
 
+def cmd_capacity(args) -> int:
+    """Run the capacity matrix; write the artifact + HTML report."""
+    from repro.bench.capacity import (CapacitySearch, default_artifact_path,
+                                      dump_capacity_artifact, matrix_cells,
+                                      parse_smp, run_capacity_matrix)
+    from repro.obs.report import write_report
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    if not backends:
+        print("repro: --backends needs at least one backend",
+              file=sys.stderr)
+        return 2
+    for backend in backends:
+        if not _check_backend(backend):
+            return 2
+    try:
+        inactive = [int(x) for x in args.inactive.split(",") if x.strip()]
+        cells = matrix_cells(backends, inactive, smp=parse_smp(args.smp),
+                             dispatch=args.dispatch)
+        search = CapacitySearch(
+            low=args.low, high=args.high, tolerance=args.tolerance,
+            duration=args.duration, seed=args.seed, timeline=args.timeline)
+    except ValueError as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return 2
+    print(f"capacity matrix {args.name!r}: {len(cells)} cell(s), "
+          f"search {search.low:g}..{search.high:g} replies/s "
+          f"(tolerance {search.tolerance:g}), jobs={args.jobs}")
+    artifact = run_capacity_matrix(
+        cells, search=search, jobs=args.jobs, name=args.name,
+        on_event=lambda line: print(f"  {line}", flush=True))
+    artifact_path = args.artifact or default_artifact_path(args.name)
+    try:
+        dump_capacity_artifact(artifact, artifact_path)
+    except OSError as err:
+        print(f"repro: cannot write {artifact_path}: {err.strerror}",
+              file=sys.stderr)
+        return 1
+    print(f"artifact -> {artifact_path} "
+          f"(fingerprint {artifact['fingerprint']}, "
+          f"{artifact['wall_clock_s']:.1f}s wall clock)")
+    if args.out is not None:
+        try:
+            size = write_report(artifact, args.out)
+        except OSError as err:
+            print(f"repro: cannot write {args.out}: {err.strerror}",
+                  file=sys.stderr)
+            return 1
+        print(f"report -> {args.out} ({size} bytes, self-contained)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Re-render the HTML report from a capacity artifact."""
+    from repro.bench.capacity import load_capacity_artifact
+    from repro.obs.report import write_report
+
+    try:
+        artifact = load_capacity_artifact(args.artifact)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"repro: cannot read {args.artifact}: {err}", file=sys.stderr)
+        return 2
+    try:
+        size = write_report(artifact, args.out)
+    except OSError as err:
+        print(f"repro: cannot write {args.out}: {err.strerror}",
+              file=sys.stderr)
+        return 1
+    print(f"report -> {args.out} ({size} bytes, "
+          f"fingerprint {artifact.get('fingerprint')})")
+    return 0
+
+
 def cmd_figures(args) -> int:
     """Regenerate the requested figures at CLI-chosen scale."""
     from repro.bench.figures import ALL_FIGURES
@@ -474,6 +557,54 @@ def main(argv=None) -> int:
     p_fig.add_argument("--profile-out", metavar="FILE",
                        help="profile every point; write all reports as JSON")
 
+    p_cap = sub.add_parser(
+        "capacity",
+        help="binary-search peak sustainable rate per (backend x load x "
+             "SMP) cell; write CAPACITY_<name>.json + an HTML report")
+    p_cap.add_argument("--backends", default="select,epoll", metavar="LIST",
+                       help="comma-separated event backends "
+                            "(default select,epoll)")
+    p_cap.add_argument("--inactive", default="1,251", metavar="LIST",
+                       help="comma-separated inactive-connection loads "
+                            "(default 1,251)")
+    p_cap.add_argument("--smp", default="1x1", metavar="SHAPES",
+                       help="comma-separated CPUSxWORKERS shapes, e.g. "
+                            "1x1,4x4 (default 1x1)")
+    p_cap.add_argument("--dispatch", choices=("hash", "round-robin"),
+                       default="hash",
+                       help="accept-sharding policy for SMP shapes")
+    p_cap.add_argument("--low", type=float, default=100.0,
+                       help="search floor, replies/s (default 100)")
+    p_cap.add_argument("--high", type=float, default=2000.0,
+                       help="search ceiling, replies/s (default 2000)")
+    p_cap.add_argument("--tolerance", type=float, default=150.0,
+                       help="stop bisecting when the bracket closes to "
+                            "this many replies/s (default 150)")
+    p_cap.add_argument("--duration", type=float, default=2.0,
+                       help="simulated seconds per probe (default 2, "
+                            "minimum 2)")
+    p_cap.add_argument("--seed", type=int, default=0)
+    p_cap.add_argument("--timeline", type=float, default=0.25,
+                       help="timeline sampling interval of the knee "
+                            "verification run (default 0.25s; 0 = off)")
+    p_cap.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="probe across N worker processes; the probe "
+                            "history stays identical to a serial run")
+    p_cap.add_argument("--name", default="matrix",
+                       help="artifact name (default 'matrix' -> "
+                            "CAPACITY_matrix.json)")
+    p_cap.add_argument("--artifact", metavar="FILE",
+                       help="artifact path (default CAPACITY_<name>.json)")
+    p_cap.add_argument("--out", metavar="FILE", default="report.html",
+                       help="self-contained HTML report path "
+                            "(default report.html)")
+
+    p_rep = sub.add_parser(
+        "report", help="re-render the HTML report from a CAPACITY artifact")
+    p_rep.add_argument("artifact", help="a CAPACITY_<name>.json file")
+    p_rep.add_argument("--out", metavar="FILE", default="report.html",
+                       help="HTML output path (default report.html)")
+
     p_perf = sub.add_parser(
         "selfperf", help="measure harness speed (events per host second)")
     p_perf.add_argument("--engine-only", action="store_true",
@@ -494,6 +625,10 @@ def main(argv=None) -> int:
         return cmd_compare(args)
     if args.command == "figures":
         return cmd_figures(args)
+    if args.command == "capacity":
+        return cmd_capacity(args)
+    if args.command == "report":
+        return cmd_report(args)
     if args.command == "selfperf":
         return cmd_selfperf(args)
     return cmd_info(args)

@@ -23,9 +23,19 @@ class CapacityEstimate:
     inactive: int
     capacity: float                 # replies/s at the knee
     probes: List[Tuple[float, float]] = field(default_factory=list)
+    #: event backend the probes ran on (None = the server's own)
+    backend: Optional[str] = None
+    #: SMP shape of the probed server host
+    cpus: int = 1
+    workers: int = 1
+    dispatch: str = "hash"
 
     def __str__(self) -> str:  # pragma: no cover - presentation only
-        return (f"{self.server} @ {self.inactive} inactive: "
+        shown = (f"{self.server} [{self.backend}]" if self.backend
+                 else self.server)
+        smp = (f", {self.cpus} cpus x {self.workers} workers"
+               if self.cpus != 1 or self.workers != 1 else "")
+        return (f"{shown} @ {self.inactive} inactive{smp}: "
                 f"~{self.capacity:.0f} replies/s")
 
 
@@ -35,12 +45,20 @@ def measure_capacity(server: str, inactive: int = 1,
                      seed: int = 0,
                      server_opts: Optional[Dict[str, Any]] = None,
                      sustain_fraction: float = 0.95,
-                     jobs: int = 1) -> CapacityEstimate:
+                     jobs: int = 1,
+                     backend: Optional[str] = None,
+                     cpus: int = 1, workers: int = 1,
+                     dispatch: str = "hash") -> CapacityEstimate:
     """Bisect for the highest offered rate the server still sustains.
 
     A rate is "sustained" when the measured average reply rate reaches
     ``sustain_fraction`` of it with under 2% errors.  Returns the knee
     estimate plus every probe taken.
+
+    ``backend`` pins every probe to one event backend (overriding the
+    server kind, exactly like :attr:`BenchmarkPoint.backend`), and
+    ``cpus``/``workers``/``dispatch`` probe an SMP server host; all
+    four travel into the returned estimate.
 
     The bisection itself is inherently sequential (each probe depends
     on the last), but with ``jobs > 1`` the two bracket probes run
@@ -48,6 +66,11 @@ def measure_capacity(server: str, inactive: int = 1,
     takes one extra ``high`` probe when ``low`` is already unsustained.
     """
     probes: List[Tuple[float, float]] = []
+
+    def estimate(capacity: float) -> CapacityEstimate:
+        return CapacityEstimate(server, inactive, capacity, probes,
+                                backend=backend, cpus=cpus,
+                                workers=workers, dispatch=dispatch)
 
     def judge(result) -> bool:
         rate = result.point.rate
@@ -57,8 +80,9 @@ def measure_capacity(server: str, inactive: int = 1,
 
     def make_point(rate: float) -> BenchmarkPoint:
         return BenchmarkPoint(
-            server=server, rate=rate, inactive=inactive,
+            server=server, backend=backend, rate=rate, inactive=inactive,
             duration=duration, seed=seed,
+            cpus=cpus, workers=workers, dispatch=dispatch,
             server_opts=dict(server_opts or {}))
 
     def sustained(rate: float) -> bool:
@@ -75,14 +99,14 @@ def measure_capacity(server: str, inactive: int = 1,
         low_ok = judge(outcomes[0].result)
         high_ok = judge(outcomes[1].result)
         if not low_ok:
-            return CapacityEstimate(server, inactive, 0.0, probes)
+            return estimate(0.0)
         if high_ok:
-            return CapacityEstimate(server, inactive, high, probes)
+            return estimate(high)
     else:
         if not sustained(low):
-            return CapacityEstimate(server, inactive, 0.0, probes)
+            return estimate(0.0)
         if sustained(high):
-            return CapacityEstimate(server, inactive, high, probes)
+            return estimate(high)
     lo, hi = low, high
     while hi - lo > tolerance:
         mid = (lo + hi) / 2.0
@@ -90,22 +114,41 @@ def measure_capacity(server: str, inactive: int = 1,
             lo = mid
         else:
             hi = mid
-    return CapacityEstimate(server, inactive, lo, probes)
+    return estimate(lo)
+
+
+def _server_busy_by_category(result: PointResult) -> Dict[str, float]:
+    """Busy seconds per category summed over *all* simulated server CPUs.
+
+    ``kernel.cpus`` lists the real per-CPU resources on both shapes
+    (uniprocessor: the one CPU; SMP: every member of the domain), so
+    the sum never depends on which facade ``kernel.cpu`` happens to be.
+    """
+    merged: Dict[str, float] = {}
+    for cpu in result.testbed.server_kernel.cpus:
+        for category, seconds in cpu.busy_by_category.items():
+            merged[category] = merged.get(category, 0.0) + seconds
+    return merged
 
 
 def cpu_breakdown(result: PointResult, top: int = 12) -> List[Tuple[str, float, float]]:
-    """(category, seconds, share-of-busy) rows for one benchmark point."""
-    by_cat = result.testbed.server_kernel.cpu.busy_by_category
+    """(category, seconds, share-of-busy) rows for one benchmark point.
+
+    On an SMP testbed the rows sum busy time across every simulated
+    CPU, so softirq work pinned to CPU 0 and worker syscalls spread
+    over CPUs 1..N all land in one machine-wide table.
+    """
+    by_cat = _server_busy_by_category(result)
     busy = sum(by_cat.values()) or 1.0
     rows = sorted(by_cat.items(), key=lambda kv: -kv[1])[:top]
     return [(cat, secs, secs / busy) for cat, secs in rows]
 
 
 def per_request_cost_us(result: PointResult) -> Optional[float]:
-    """Average server CPU microseconds consumed per successful reply."""
+    """Average server CPU microseconds consumed per successful reply
+    (all simulated CPUs summed)."""
     replies = result.httperf.replies_ok
     if replies == 0:
         return None
-    busy = sum(
-        result.testbed.server_kernel.cpu.busy_by_category.values())
+    busy = sum(_server_busy_by_category(result).values())
     return 1e6 * busy / replies

@@ -91,6 +91,9 @@ class BenchmarkPoint:
     trace: bool = False
     #: attribute server-CPU time to (subsystem, operation) pairs
     profile: bool = False
+    #: sample the server's metrics/per-CPU busy time every N simulated
+    #: seconds during the measure window (repro.obs.timeline); 0 = off
+    timeline: float = 0.0
     #: simulated CPUs in the server host (>1 builds an SMP domain)
     cpus: int = 1
     #: prefork workers sharing the port via SO_REUSEPORT; 1 keeps the
@@ -123,6 +126,8 @@ class PointResult:
     time_wait_client: int
     #: server-CPU attribution, when the point ran with profile=True
     profiler: Optional[Any] = None
+    #: repro.obs.timeline.TimelineSampler, when the point sampled one
+    timeline: Optional[Any] = None
 
     def row(self) -> Dict[str, float]:
         """The numbers a figure plots for this x-position."""
@@ -230,6 +235,12 @@ def run_point(point: BenchmarkPoint) -> PointResult:
         testbed.sim.now, "bench", "measure",
         server=point.server, rate=point.rate)
     busy_before = testbed.server_kernel.cpu.busy_time
+    sampler = None
+    if point.timeline > 0:
+        from ..obs.timeline import TimelineSampler
+
+        sampler = TimelineSampler(testbed, point.timeline)
+        sampler.start()
     client = HttperfClient(testbed, HttperfConfig(
         rate=point.rate,
         duration=point.duration,
@@ -247,6 +258,8 @@ def run_point(point: BenchmarkPoint) -> PointResult:
         testbed.run(until=testbed.sim.now + 0.5)
     testbed.tracer.end(testbed.sim.now, measure_span,
                        done=client.done.triggered)
+    if sampler is not None:
+        sampler.stop()
     pool.stop()
     server.stop()
 
@@ -271,4 +284,5 @@ def run_point(point: BenchmarkPoint) -> PointResult:
         time_wait_server=testbed.server_stack.time_wait_count,
         time_wait_client=testbed.client_stack.time_wait_count,
         profiler=testbed.profiler,
+        timeline=sampler,
     )

@@ -34,7 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports; a
 #:      ``bandwidth_bps``, present only when non-default (cpus/workers
 #:      > 1, dispatch != "hash", a link-speed override), so uniprocessor
 #:      records stay byte-identical to v2.
-RECORD_VERSION = 3
+#: 4 -- adds the observability keys ``timeline`` (the sampling interval)
+#:      and ``timeline_data`` (the :mod:`repro.obs.timeline` samples),
+#:      present only when the point ran with ``timeline > 0``, so every
+#:      pre-existing record and fingerprint is unchanged.
+RECORD_VERSION = 4
 
 #: Per-point artifact keys that measure the *host*, not the simulation:
 #: they differ run-to-run and between serial and parallel execution, so
@@ -116,6 +120,11 @@ def point_record(result: PointResult) -> Dict[str, Any]:
         record["dispatch"] = point.dispatch
     if point.bandwidth_bps is not None:
         record["bandwidth_bps"] = point.bandwidth_bps
+    if point.timeline > 0:
+        record["timeline"] = point.timeline
+        timeline = getattr(result, "timeline", None)
+        if timeline is not None:
+            record["timeline_data"] = timeline.as_dict()
     mode = getattr(result.server, "mode", None)
     if mode is not None:
         record["mode"] = mode

@@ -144,6 +144,8 @@ def point_config(point: BenchmarkPoint) -> Dict[str, Any]:
         config["dispatch"] = point.dispatch
     if point.bandwidth_bps is not None:
         config["bandwidth_bps"] = point.bandwidth_bps
+    if point.timeline > 0:
+        config["timeline"] = point.timeline
     return config
 
 

@@ -22,6 +22,13 @@ benchmark or test can turn on to see inside the simulator:
 * :mod:`repro.obs.flame` -- collapses the span ring and the profiler
   table into folded-stack lines (flamegraph.pl / speedscope input) and
   renders a terminal-only ASCII flame view.
+* :mod:`repro.obs.timeline` -- a periodic sampler that snapshots the
+  server's metrics registry and per-CPU busy time at fixed sim-time
+  intervals (``BenchmarkPoint(timeline=0.25)`` turns it on).
+* :mod:`repro.obs.report` -- renders one ``CAPACITY_<name>.json``
+  artifact (:mod:`repro.bench.capacity`) into a single self-contained
+  HTML report: heatmap, latency curves, timelines, folded stacks, all
+  inline, no external assets.
 
 Everything is off by default and costs one attribute check per call site
 when disabled, so benchmark numbers are unaffected.
@@ -31,7 +38,9 @@ from .flame import ascii_flame, collapse_profile, collapse_spans, folded_stacks,
 from .latency import LatencyHistogram
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Tally
 from .profiler import CpuProfiler, ProfileReport, split_category
+from .report import render_report, write_report
 from .spans import NULL_TRACER, Span, SpanTracer, TraceRecord, Tracer
+from .timeline import TimelineSampler, utilization_series
 
 __all__ = [
     "Counter",
@@ -45,12 +54,16 @@ __all__ = [
     "Span",
     "SpanTracer",
     "Tally",
+    "TimelineSampler",
     "TraceRecord",
     "Tracer",
     "ascii_flame",
     "collapse_profile",
     "collapse_spans",
     "folded_stacks",
+    "render_report",
     "split_category",
+    "utilization_series",
     "write_folded",
+    "write_report",
 ]

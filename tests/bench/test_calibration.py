@@ -24,10 +24,61 @@ def test_measure_capacity_finds_a_knee():
             assert measured >= 0.9 * rate
 
 
+def test_measure_capacity_converges_within_tolerance():
+    est = measure_capacity("thttpd-devpoll", inactive=1,
+                           low=100, high=2400, tolerance=300,
+                           duration=2.0, seed=3)
+    # the knee is bracketed: some probe within tolerance above the
+    # returned capacity was offered and not sustained
+    assert 0 < est.capacity < 2400
+    overshoots = [rate for rate, measured in est.probes
+                  if rate > est.capacity and measured < 0.95 * rate]
+    assert overshoots
+    assert min(overshoots) - est.capacity <= 300
+
+
 def test_measure_capacity_zero_when_server_absent_rate_unreachable():
     est = measure_capacity("thttpd", inactive=1, low=5000, high=6000,
                            tolerance=500, duration=1.0, seed=0)
     assert est.capacity == 0.0
+    # serial search stops at the first unsustained bracket probe
+    assert len(est.probes) == 1
+    assert est.probes[0][0] == 5000
+
+
+def test_measure_capacity_threads_backend_and_smp_shape():
+    est = measure_capacity("thttpd-select", inactive=1,
+                           low=100, high=200, tolerance=100,
+                           duration=2.0, seed=0,
+                           backend="select", cpus=2, workers=2,
+                           dispatch="round-robin")
+    assert est.backend == "select"
+    assert est.cpus == 2
+    assert est.workers == 2
+    assert est.dispatch == "round-robin"
+    assert est.server == "thttpd-select"
+    assert est.capacity > 0
+
+
+def test_measure_capacity_parallel_bracket_matches_serial():
+    kwargs = dict(inactive=1, low=100, high=900, tolerance=400,
+                  duration=2.0, seed=0)
+    serial = measure_capacity("thttpd-devpoll", **kwargs)
+    fanned = measure_capacity("thttpd-devpoll", jobs=2, **kwargs)
+    assert fanned.capacity == serial.capacity
+    # bisection probes after the bracket are identical; the parallel
+    # bracket may add one extra high probe when low is unsustained
+    assert fanned.probes[2:] == serial.probes[2:]
+    assert fanned.probes[:2] == serial.probes[:2]
+
+
+def test_measure_capacity_probe_history_is_deterministic():
+    kwargs = dict(inactive=1, low=100, high=1700, tolerance=400,
+                  duration=2.0, seed=7)
+    first = measure_capacity("thttpd-devpoll", **kwargs)
+    second = measure_capacity("thttpd-devpoll", **kwargs)
+    assert first.capacity == second.capacity
+    assert first.probes == second.probes
 
 
 def test_cpu_breakdown_and_per_request_cost():
@@ -44,6 +95,25 @@ def test_cpu_breakdown_and_per_request_cost():
     # CPU per request (DESIGN.md: ~1 ms all-in near saturation)
     assert cost is not None
     assert 200 < cost < 3000
+
+
+def test_cpu_breakdown_sums_every_simulated_cpu():
+    result = run_point(BenchmarkPoint(server="thttpd-select", rate=200,
+                                      inactive=1, duration=2.0, seed=1,
+                                      cpus=4, workers=4))
+    kernel = result.testbed.server_kernel
+    assert len(kernel.cpus) == 4
+    per_cpu_busy = [sum(cpu.busy_by_category.values())
+                    for cpu in kernel.cpus]
+    # the workload genuinely spread: no single CPU holds all the time
+    assert sum(1 for busy in per_cpu_busy if busy > 0) >= 2
+    rows = cpu_breakdown(result, top=50)
+    assert sum(seconds for _c, seconds, _s in rows) == \
+        pytest.approx(sum(per_cpu_busy))
+    assert sum(seconds for _c, seconds, _s in rows) > max(per_cpu_busy)
+
+    cost = per_request_cost_us(result)
+    assert cost is not None and cost > 0
 
 
 def test_per_request_cost_none_without_replies():

@@ -1,0 +1,99 @@
+"""HTML-report sanity: one self-contained file, all data embedded."""
+
+import re
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.bench.capacity import (
+    CapacitySearch,
+    matrix_cells,
+    run_capacity_matrix,
+)
+from repro.obs.report import render_report, write_report
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    # two backends x one load: enough cells for legends/series slots
+    cells = matrix_cells(["select", "epoll"], [1])
+    search = CapacitySearch(low=100.0, high=400.0, tolerance=300.0,
+                            duration=2.0, timeline=0.5)
+    return run_capacity_matrix(cells, search=search, name="reporttest")
+
+
+@pytest.fixture(scope="module")
+def html(artifact):
+    return render_report(artifact)
+
+
+class _TagBalanceParser(HTMLParser):
+    VOID = {"meta", "br", "hr", "img", "input", "link",
+            "line", "circle", "polyline", "path", "rect"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}>")
+        else:
+            self.stack.pop()
+
+
+def test_report_is_one_self_contained_file(html):
+    # no external asset references of any kind
+    assert not re.findall(r"https?://", html)
+    for needle in ("<link", "src=", "@import", "url("):
+        assert needle not in html
+    # styles, charts, scripts all inline
+    assert "<style>" in html
+    assert "<svg" in html
+    assert "<script>" in html
+
+
+def test_report_markup_is_balanced(html):
+    parser = _TagBalanceParser()
+    parser.feed(html)
+    assert parser.errors == []
+    assert parser.stack == []
+
+
+def test_report_embeds_every_cell(artifact, html):
+    for cell in artifact["cells"]:
+        assert html.count(cell["label"]) >= 3  # heatmap, charts, table
+        # the heatmap shows each cell's knee
+        assert f">{cell['capacity']:.0f}<" in html or \
+            f"{cell['capacity']:.0f}" in html
+        # folded stacks are embedded verbatim
+        for line in cell["knee"]["folded_stacks"][:3]:
+            assert line in html
+    assert artifact["fingerprint"] in html
+
+
+def test_report_has_accessibility_surfaces(html):
+    # table view behind every chart + a legend for multi-series charts
+    assert 'class="data"' in html
+    assert 'class="legend"' in html
+    # dark mode is selected, not merely inverted
+    assert "prefers-color-scheme: dark" in html
+    # tooltips on marks
+    assert "<title>" in html
+
+
+def test_render_is_deterministic_and_write_matches(artifact, html,
+                                                   tmp_path):
+    assert render_report(artifact) == html
+    out = tmp_path / "report.html"
+    size = write_report(artifact, str(out))
+    data = out.read_bytes()
+    assert len(data) == size
+    assert data.decode("utf-8") == html

@@ -1,0 +1,76 @@
+"""Tests for the periodic metrics/CPU timeline sampler."""
+
+import pytest
+
+from repro.bench.harness import BenchmarkPoint, run_point
+from repro.bench.records import point_record
+from repro.obs.timeline import TIMELINE_VERSION, utilization_series
+
+
+def _run(timeline=0.5, duration=2.0, **kwargs):
+    point = BenchmarkPoint(server="thttpd-devpoll", rate=150.0, inactive=1,
+                           duration=duration, seed=2, timeline=timeline,
+                           **kwargs)
+    return run_point(point)
+
+
+def test_sampler_cadence_and_shape():
+    result = _run(timeline=0.5, duration=2.0)
+    data = result.timeline.as_dict()
+    assert data["timeline_version"] == TIMELINE_VERSION
+    assert data["interval"] == 0.5
+    assert data["dropped"] == 0
+    times = [s["t"] for s in data["samples"]]
+    # baseline at 0, then every 0.5 sim seconds through the window
+    assert times[0] == 0.0
+    assert len(times) >= 4
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(g == pytest.approx(0.5, abs=1e-6) for g in gaps[:-1])
+    for sample in data["samples"]:
+        assert len(sample["cpu_busy"]) == data["cpus"] == 1
+        assert "tcp.open_connections" in sample["metrics"]
+
+
+def test_cpu_busy_is_per_cpu_and_monotonic():
+    result = _run(timeline=0.5, duration=2.0, cpus=2, workers=2)
+    data = result.timeline.as_dict()
+    assert data["cpus"] == 2
+    for cpu_index in range(2):
+        series = [s["cpu_busy"][cpu_index] for s in data["samples"]]
+        assert series == sorted(series)  # busy time never decreases
+    # the workload actually spread over both CPUs
+    last = data["samples"][-1]["cpu_busy"]
+    assert all(busy > 0 for busy in last)
+
+
+def test_sampling_does_not_change_measurements():
+    bare = _run(timeline=0.0)
+    sampled = _run(timeline=0.5)
+    assert sampled.reply_rate.avg == bare.reply_rate.avg
+    assert sampled.error_percent == bare.error_percent
+    record_bare = point_record(bare)
+    record_sampled = point_record(sampled)
+    record_sampled.pop("timeline")
+    record_sampled.pop("timeline_data")
+    assert record_sampled == record_bare
+
+
+def test_record_carries_timeline_only_when_on():
+    sampled = _run(timeline=0.5)
+    record = point_record(sampled)
+    assert record["timeline"] == 0.5
+    assert len(record["timeline_data"]["samples"]) >= 4
+    bare = _run(timeline=0.0)
+    assert "timeline" not in point_record(bare)
+
+
+def test_utilization_series_bounds():
+    result = _run(timeline=0.5, duration=2.0)
+    data = result.timeline.as_dict()
+    util = utilization_series(data)
+    assert len(util) == len(data["samples"]) - 1
+    for interval in util:
+        assert len(interval) == data["cpus"]
+        assert all(0.0 <= u <= 1.0 for u in interval)
+    # a loaded server is busy somewhere mid-run
+    assert any(u > 0 for interval in util for u in interval)

@@ -14,6 +14,12 @@ Subcommands:
                                    canonical ``BENCH_<suite>.json``
 * ``compare OLD NEW``           -- diff two BENCH artifacts; exits
                                    nonzero on regression (the CI gate)
+* ``trace SERVER RATE LOAD``    -- run one point with the causal ledger
+                                   on; export a Chrome trace-event JSON
+                                   (load it in Perfetto / about:tracing)
+* ``diff OLD NEW``              -- attributed diff of two BENCH or two
+                                   CAPACITY artifacts: what moved, and
+                                   which subsystem/pathology moved it
 * ``selfperf``                  -- measure the harness's own speed
                                    (simulator events per host second)
 * ``capacity``                  -- binary-search the saturation knee of
@@ -300,6 +306,71 @@ def cmd_compare(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_trace(args) -> int:
+    """Run one traced point; export the causal Chrome trace JSON."""
+    from repro.bench import BenchmarkPoint, run_point
+    from repro.obs.causal import export_chrome_trace
+
+    if not _check_server(args.server) or not _check_backend(args.backend):
+        return 2
+    result = run_point(BenchmarkPoint(
+        server=args.server, backend=args.backend, rate=args.rate,
+        inactive=args.inactive, duration=args.duration, seed=args.seed,
+        trace=True))
+    rr = result.reply_rate
+    shown = (f"{args.server} [{args.backend}]" if args.backend
+             else args.server)
+    print(f"{shown} @ {args.rate:.0f}/s, {args.inactive} inactive, "
+          f"{args.duration:.0f}s (traced):")
+    print(f"  replies/s avg {rr.avg:.1f}  errors "
+          f"{result.error_percent:.2f}%  cpu "
+          f"{100 * result.cpu_utilization:.0f}%")
+    ledger = result.testbed.causal
+    try:
+        count = export_chrome_trace(args.out, ledger,
+                                    tracer=result.testbed.tracer)
+    except OSError as err:
+        print(f"repro: cannot write {args.out}: {err.strerror}",
+              file=sys.stderr)
+        return 1
+    print(f"  trace -> {args.out} ({count} events; open in Perfetto or "
+          "chrome://tracing)")
+    summary = ledger.summary()
+    wakeup = summary["wakeup_latency"]
+    print(f"  wakeups: {wakeup['count']} harvested, ready->harvest avg "
+          f"{wakeup['avg_us']:.1f} us, max {wakeup['max_us']:.1f} us")
+    counters = summary["counters"]
+    interesting = [
+        (key, counters[key]) for key in (
+            "spurious_waits", "stale_dispatches", "rtsig_overflows",
+            "sigio_recovery_episodes", "harvest_unmatched")
+        if counters.get(key)]
+    if interesting:
+        print("  pathologies: " + ", ".join(
+            f"{key}={value}" for key, value in interesting))
+    else:
+        print("  pathologies: none observed")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Attributed diff of two BENCH or two CAPACITY artifacts."""
+    from repro.bench.diffing import render_diff
+
+    artifacts = []
+    for path in (args.old, args.new):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                artifacts.append(json.load(fh))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"repro: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+    text = render_diff(artifacts[0], artifacts[1],
+                       old_name=args.old, new_name=args.new, top=args.top)
+    print(text)
+    return 2 if text.startswith("cannot diff") else 0
+
+
 def cmd_selfperf(args) -> int:
     """Measure harness speed: simulator events per host second."""
     from repro.bench.selfperf import run_selfperf
@@ -536,6 +607,28 @@ def main(argv=None) -> int:
                        help="max absolute cpu-utilization increase "
                             "(default 0.10)")
 
+    p_trace = sub.add_parser(
+        "trace", help="run one traced point; export Chrome trace JSON "
+                      "(causal wakeup chains + spans, Perfetto-loadable)")
+    p_trace.add_argument("server")
+    p_trace.add_argument("rate", type=float)
+    p_trace.add_argument("inactive", type=int)
+    p_trace.add_argument("--duration", type=float, default=2.0)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--backend", metavar="NAME",
+                         help="pin an event backend; overrides SERVER")
+    p_trace.add_argument("--out", metavar="FILE", default="trace.json",
+                         help="Chrome trace-event JSON path "
+                              "(default trace.json)")
+
+    p_diff = sub.add_parser(
+        "diff", help="attributed diff of two BENCH or CAPACITY artifacts")
+    p_diff.add_argument("old")
+    p_diff.add_argument("new")
+    p_diff.add_argument("--top", type=int, default=8,
+                        help="max profiler/pathology rows per entry "
+                             "(default 8)")
+
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("ids", nargs="*")
     p_fig.add_argument("--rates", type=float, nargs="+",
@@ -623,6 +716,10 @@ def main(argv=None) -> int:
         return cmd_bench(args)
     if args.command == "compare":
         return cmd_compare(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "diff":
+        return cmd_diff(args)
     if args.command == "figures":
         return cmd_figures(args)
     if args.command == "capacity":

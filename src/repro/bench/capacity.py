@@ -55,7 +55,11 @@ from .records import RECORD_VERSION, point_record
 from .suites import point_config
 
 #: bump when the capacity artifact's shape changes; readers accept <= this
-CAPACITY_ARTIFACT_VERSION = 1
+#:
+#: 2 -- knee verification runs with the causal ledger on, so each cell's
+#:      ``knee`` block gains ``pathologies`` (see repro.obs.causal);
+#:      v1 artifacts simply lack the key.
+CAPACITY_ARTIFACT_VERSION = 2
 
 #: profile rows archived per cell (the report shows these)
 PROFILE_TOP_ROWS = 12
@@ -198,13 +202,14 @@ class _CellSearch:
 
     # -- building probes ----------------------------------------------
     def point(self, rate: float, profile: bool = False,
-              timeline: float = 0.0) -> BenchmarkPoint:
+              timeline: float = 0.0, trace: bool = False) -> BenchmarkPoint:
         spec, search = self.spec, self.search
         return BenchmarkPoint(
             server=spec.server, backend=spec.backend, rate=rate,
             inactive=spec.inactive, duration=search.duration,
             seed=search.seed, cpus=spec.cpus, workers=spec.workers,
-            dispatch=spec.dispatch, profile=profile, timeline=timeline)
+            dispatch=spec.dispatch, profile=profile, timeline=timeline,
+            trace=trace)
 
     # -- scheduling ----------------------------------------------------
     def needed(self) -> List[float]:
@@ -444,8 +449,12 @@ def _verify_knees(searches: List[_CellSearch], search: CapacitySearch,
     if not todo:
         return
     emit(f"verify: {len(todo)} knee run(s) with profiler + timeline")
+    # trace=True attaches the causal ledger: the knee block gains the
+    # pathology panel's data.  Observation is zero-cost, so the knee's
+    # measurements match an untraced run exactly.
     points = [cell.point(cell.capacity, profile=True,
-                         timeline=search.timeline) for cell in todo]
+                         timeline=search.timeline, trace=True)
+              for cell in todo]
     outcomes = run_points(points, jobs=jobs)
     for cell, outcome in zip(todo, outcomes):
         if not outcome.ok:
@@ -473,6 +482,7 @@ def _knee_record(outcome: PointOutcome) -> Dict[str, Any]:
         "server_latency_percentiles": record.get(
             "server_latency_percentiles"),
         "timeline": record.get("timeline_data"),
+        "pathologies": record.get("pathologies"),
     }
     if profile is not None:
         rows = profile.get("rows", [])[:PROFILE_TOP_ROWS]

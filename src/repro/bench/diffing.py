@@ -1,0 +1,252 @@
+"""Attributed diffs between two benchmark artifacts (``repro diff``).
+
+``repro compare`` answers *did it regress* (tolerance gate, exit code);
+this module answers *what moved and why*.  Given two BENCH or two
+CAPACITY artifacts it aligns their entries by label and reports, per
+entry:
+
+* the headline measurement deltas (reply rate, error %, p99, CPU);
+* the top profiler movers -- which ``(subsystem, operation)`` rows
+  gained or lost charged CPU seconds, so a reply-rate delta is
+  *attributed* to a layer instead of merely noticed;
+* the pathology-counter deltas (:mod:`repro.obs.causal`), when both
+  sides carry a ``pathologies`` block -- spurious wakeups, stale
+  events, rtsig overflows, lock wait, and friends.
+
+Wall-clock fields (:data:`repro.bench.records.WALL_CLOCK_FIELDS`) are
+host measurements, not simulation results, and never appear in a diff.
+Rendering is pure text on plain dicts, so it works on any artifact
+version that loads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def artifact_kind(artifact: Dict[str, Any]) -> str:
+    """'capacity' | 'bench' | 'unknown' by shape, not filename."""
+    if "cells" in artifact:
+        return "capacity"
+    if "points" in artifact:
+        return "bench"
+    return "unknown"
+
+
+# ---------------------------------------------------------------------------
+# flattening + numeric deltas
+# ---------------------------------------------------------------------------
+
+def flatten_numeric(obj: Any, prefix: str = "") -> Dict[str, float]:
+    """Dotted-key map of every numeric leaf (bools excluded).
+
+    Lists of dicts that carry a ``"name"`` key (the per-backend stats
+    blocks) are keyed by that name; other lists by index.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(value, dotted))
+    elif isinstance(obj, list):
+        for index, value in enumerate(obj):
+            label = (value["name"] if isinstance(value, dict)
+                     and isinstance(value.get("name"), str) else str(index))
+            dotted = f"{prefix}.{label}" if prefix else label
+            out.update(flatten_numeric(value, dotted))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out[prefix] = float(obj)
+    return out
+
+
+def _delta_lines(old: Any, new: Any, top: int, indent: str) -> List[str]:
+    """The changed numeric leaves between two blocks, biggest first."""
+    a, b = flatten_numeric(old), flatten_numeric(new)
+    deltas = [(key, b.get(key, 0.0) - a.get(key, 0.0))
+              for key in sorted(set(a) | set(b))]
+    deltas = [(k, d) for k, d in deltas if abs(d) > 1e-12]
+    deltas.sort(key=lambda kd: -abs(kd[1]))
+    lines = [f"{indent}{key}  {delta:+g}" for key, delta in deltas[:top]]
+    if len(deltas) > top:
+        lines.append(f"{indent}... {len(deltas) - top} more changed "
+                     "counter(s)")
+    return lines
+
+
+def _profile_rows(block: Optional[Dict[str, Any]]) -> Dict[Tuple[str, str], float]:
+    """(subsystem, operation) -> charged seconds from a profile dict."""
+    if not block:
+        return {}
+    return {(r["subsystem"], r["operation"]): float(r["cpu_seconds"])
+            for r in block.get("rows", [])}
+
+
+def _profile_mover_lines(old_profile: Optional[Dict[str, Any]],
+                         new_profile: Optional[Dict[str, Any]],
+                         top: int, indent: str) -> List[str]:
+    old_rows = _profile_rows(old_profile)
+    new_rows = _profile_rows(new_profile)
+    if not old_rows and not new_rows:
+        return []
+    movers = [(key, new_rows.get(key, 0.0) - old_rows.get(key, 0.0))
+              for key in sorted(set(old_rows) | set(new_rows))]
+    movers = [(k, d) for k, d in movers if abs(d) > 1e-12]
+    movers.sort(key=lambda kd: -abs(kd[1]))
+    if not movers:
+        return []
+    lines = [f"{indent}CPU movers (subsystem.operation, delta charged ms):"]
+    for (subsystem, operation), delta in movers[:top]:
+        lines.append(f"{indent}  {subsystem}.{operation}  "
+                     f"{delta * 1e3:+.3f} ms")
+    if len(movers) > top:
+        lines.append(f"{indent}  ... {len(movers) - top} more row(s) moved")
+    return lines
+
+
+def _metric_lines(pairs: List[Tuple[str, Optional[float], Optional[float],
+                                    str, int]],
+                  indent: str) -> List[str]:
+    """Aligned old -> new lines for the headline measurements."""
+    lines = []
+    for name, a, b, unit, nd in pairs:
+        if a is None and b is None:
+            continue
+        if a is None or b is None:
+            lines.append(f"{indent}{name}:  "
+                         f"{'-' if a is None else f'{a:.{nd}f}'} -> "
+                         f"{'-' if b is None else f'{b:.{nd}f}'}{unit}")
+            continue
+        delta = b - a
+        if abs(delta) <= 1e-12:
+            continue
+        rel = f", {100 * delta / a:+.1f}%" if abs(a) > 1e-12 else ""
+        lines.append(f"{indent}{name}:  {a:.{nd}f} -> {b:.{nd}f}{unit}  "
+                     f"({delta:+.{nd}f}{rel})")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# per-kind entry diffs
+# ---------------------------------------------------------------------------
+
+def _diff_bench_entry(old: Dict[str, Any], new: Dict[str, Any],
+                      top: int) -> List[str]:
+    if old.get("failed") or new.get("failed"):
+        return [f"    failed: {bool(old.get('failed'))} -> "
+                f"{bool(new.get('failed'))}"]
+    old_pct = old.get("latency_percentiles") or {}
+    new_pct = new.get("latency_percentiles") or {}
+    lines = _metric_lines([
+        ("replies/s avg", (old.get("reply_rate") or {}).get("avg"),
+         (new.get("reply_rate") or {}).get("avg"), "", 1),
+        ("error %", old.get("error_percent"), new.get("error_percent"),
+         "", 2),
+        ("p99 ms", old_pct.get("p99"), new_pct.get("p99"), "", 2),
+        ("cpu %", _scale(old.get("cpu_utilization"), 100),
+         _scale(new.get("cpu_utilization"), 100), "", 1),
+    ], "    ")
+    lines += _profile_mover_lines(old.get("profile"), new.get("profile"),
+                                  top, "    ")
+    lines += _pathology_lines(old.get("pathologies"),
+                              new.get("pathologies"), top, "    ")
+    return lines or ["    unchanged"]
+
+
+def _diff_capacity_cell(old: Dict[str, Any], new: Dict[str, Any],
+                        top: int) -> List[str]:
+    old_knee = old.get("knee") or {}
+    new_knee = new.get("knee") or {}
+    old_pct = old_knee.get("latency_percentiles") or {}
+    new_pct = new_knee.get("latency_percentiles") or {}
+    lines = _metric_lines([
+        ("capacity replies/s", old.get("capacity"), new.get("capacity"),
+         "", 0),
+        ("knee replies/s avg", (old_knee.get("reply_rate") or {}).get("avg"),
+         (new_knee.get("reply_rate") or {}).get("avg"), "", 1),
+        ("knee error %", old_knee.get("error_percent"),
+         new_knee.get("error_percent"), "", 2),
+        ("knee p99 ms", old_pct.get("p99"), new_pct.get("p99"), "", 2),
+        ("knee cpu %", _scale(old_knee.get("cpu_utilization"), 100),
+         _scale(new_knee.get("cpu_utilization"), 100), "", 1),
+        ("probes", float(len(old.get("probes", []))),
+         float(len(new.get("probes", []))), "", 0),
+    ], "    ")
+    lines += _profile_mover_lines(
+        _top_rows_as_profile(old_knee.get("profile_top")),
+        _top_rows_as_profile(new_knee.get("profile_top")), top, "    ")
+    lines += _pathology_lines(old_knee.get("pathologies"),
+                              new_knee.get("pathologies"), top, "    ")
+    return lines or ["    unchanged"]
+
+
+def _scale(value: Optional[float], factor: float) -> Optional[float]:
+    return None if value is None else value * factor
+
+
+def _top_rows_as_profile(rows) -> Optional[Dict[str, Any]]:
+    # knee records embed only the top profiler rows, not the full report
+    return {"rows": rows} if rows else None
+
+
+def _pathology_lines(old: Optional[Dict[str, Any]],
+                     new: Optional[Dict[str, Any]],
+                     top: int, indent: str) -> List[str]:
+    if old is None and new is None:
+        return []
+    if old is None or new is None:
+        side = "old" if old is None else "new"
+        return [f"{indent}pathologies: only the "
+                f"{'new' if side == 'old' else 'old'} side was traced "
+                "(run both with tracing to diff counters)"]
+    body = _delta_lines(old, new, top, indent + "  ")
+    if not body:
+        return []
+    return [f"{indent}pathology deltas:"] + body
+
+
+# ---------------------------------------------------------------------------
+# the renderer
+# ---------------------------------------------------------------------------
+
+def render_diff(old: Dict[str, Any], new: Dict[str, Any],
+                old_name: str = "old", new_name: str = "new",
+                top: int = 8) -> str:
+    """Human-readable attributed diff of two same-kind artifacts."""
+    kind = artifact_kind(old)
+    if kind == "unknown" or artifact_kind(new) != kind:
+        return (f"cannot diff: {old_name} is {artifact_kind(old)!r}, "
+                f"{new_name} is {artifact_kind(new)!r} "
+                "(need two BENCH or two CAPACITY artifacts)")
+    lines = [f"diff ({kind}): {old_name} -> {new_name}"]
+    old_fp, new_fp = old.get("fingerprint"), new.get("fingerprint")
+    if old_fp != new_fp:
+        lines.append(f"  note: config fingerprints differ "
+                     f"({old_fp} -> {new_fp}); deltas below include "
+                     "configuration effects, not just code changes")
+    key = "points" if kind == "bench" else "cells"
+    old_by = {e.get("label"): e for e in old.get(key, [])}
+    new_by = {e.get("label"): e for e in new.get(key, [])}
+    only_old = [label for label in old_by if label not in new_by]
+    only_new = [label for label in new_by if label not in old_by]
+    if only_old:
+        lines.append("  only in old: " + ", ".join(map(str, only_old)))
+    if only_new:
+        lines.append("  only in new: " + ", ".join(map(str, only_new)))
+    differ = _diff_bench_entry if kind == "bench" else _diff_capacity_cell
+    changed = 0
+    for label, old_entry in old_by.items():
+        new_entry = new_by.get(label)
+        if new_entry is None:
+            continue
+        body = differ(old_entry, new_entry, top)
+        if body == ["    unchanged"]:
+            continue
+        changed += 1
+        lines.append(f"  {label}:")
+        lines.extend(body)
+    shared = len(set(old_by) & set(new_by))
+    if changed == 0 and shared:
+        lines.append(f"  all {shared} shared "
+                     f"{'point' if kind == 'bench' else 'cell'}(s) "
+                     "measure identically")
+    return "\n".join(lines)

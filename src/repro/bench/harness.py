@@ -128,6 +128,9 @@ class PointResult:
     profiler: Optional[Any] = None
     #: repro.obs.timeline.TimelineSampler, when the point sampled one
     timeline: Optional[Any] = None
+    #: backend-pathology block (repro.obs.causal.collect_pathologies),
+    #: when the point ran with trace=True
+    pathologies: Optional[Dict[str, Any]] = None
 
     def row(self) -> Dict[str, float]:
         """The numbers a figure plots for this x-position."""
@@ -267,6 +270,11 @@ def run_point(point: BenchmarkPoint) -> PointResult:
     if not client.done.triggered:
         # harness safety net -- should not happen; summarize what we have
         result.reply_rate = client.partial_summary()
+    pathologies = None
+    if point.trace:
+        from ..obs.causal import collect_pathologies
+
+        pathologies = collect_pathologies(server, testbed.server_kernel)
     return PointResult(
         point=point,
         reply_rate=result.reply_rate,
@@ -285,4 +293,5 @@ def run_point(point: BenchmarkPoint) -> PointResult:
         time_wait_client=testbed.client_stack.time_wait_count,
         profiler=testbed.profiler,
         timeline=sampler,
+        pathologies=pathologies,
     )

@@ -38,7 +38,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports; a
 #:      and ``timeline_data`` (the :mod:`repro.obs.timeline` samples),
 #:      present only when the point ran with ``timeline > 0``, so every
 #:      pre-existing record and fingerprint is unchanged.
-RECORD_VERSION = 4
+#: 5 -- adds ``pathologies`` (the :mod:`repro.obs.causal` backend-
+#:      pathology block: wakeup-latency histograms, spurious wakeups,
+#:      rtsig overflow/recovery counts, stale events, lock wait),
+#:      present only when the point ran with ``trace=True``; untraced
+#:      records -- and therefore every existing fingerprint -- are
+#:      byte-identical to v4.
+RECORD_VERSION = 5
 
 #: Per-point artifact keys that measure the *host*, not the simulation:
 #: they differ run-to-run and between serial and parallel execution, so
@@ -125,6 +131,12 @@ def point_record(result: PointResult) -> Dict[str, Any]:
         timeline = getattr(result, "timeline", None)
         if timeline is not None:
             record["timeline_data"] = timeline.as_dict()
+    # present only when tracing was on; the measurement keys above are
+    # identical either way (observation is zero-cost)
+    if point.trace:
+        pathologies = getattr(result, "pathologies", None)
+        if pathologies is not None:
+            record["pathologies"] = pathologies
     mode = getattr(result.server, "mode", None)
     if mode is not None:
         record["mode"] = mode

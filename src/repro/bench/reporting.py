@@ -100,9 +100,27 @@ def attribution_table(report, top: int = 0, title: str = "") -> str:
 
     ``report`` is an :class:`repro.obs.profiler.ProfileReport` (from a
     ``run_point(...)`` with ``profile=True`` or the ``repro profile``
-    command); rows sum to the run's total charged CPU time.
+    command); rows sum to the run's total charged CPU time.  When the
+    run charged any lock-contention wait (the ``smp`` subsystem's
+    ``bkl_wait`` / ``rwlock_wait_rd`` / ``rwlock_wait_wr`` rows), a
+    contention top-line follows the table so SMP serialization is
+    visible without scanning for the rows.
     """
-    return report.render(top=top, title=title or "server CPU attribution")
+    text = report.render(top=top, title=title or "server CPU attribution")
+    contention = {
+        r.operation: r.seconds for r in report.rows
+        if r.subsystem == "smp" and r.operation in (
+            "bkl_wait", "rwlock_wait_rd", "rwlock_wait_wr")}
+    if contention:
+        waited = sum(contention.values())
+        share = waited / report.total if report.total > 0 else 0.0
+        parts = ", ".join(
+            f"{op} {contention[op] * 1e3:.3f} ms"
+            for op in ("bkl_wait", "rwlock_wait_rd", "rwlock_wait_wr")
+            if op in contention)
+        text += (f"\nlock contention: {waited * 1e3:.3f} ms waited "
+                 f"({100 * share:.1f}% of charged CPU) -- {parts}")
+    return text
 
 
 def ascii_histogram(values: Sequence[float], bins: int = 12,

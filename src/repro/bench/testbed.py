@@ -16,6 +16,7 @@ from ..kernel.costs import CLIENT_CPU_SPEED, DEFAULT_COSTS, SERVER_CPU_SPEED, Co
 from ..kernel.kernel import Kernel
 from ..net.link import ETHERNET_100MBIT, LAN_LATENCY, Network
 from ..net.stack import NetStack
+from ..obs.causal import CausalLedger
 from ..obs.profiler import CpuProfiler
 from ..sim.engine import Simulator
 from ..sim.rng import RngStreams
@@ -60,11 +61,14 @@ class Testbed:
         self.rng = RngStreams(cfg.seed)
         self.tracer = Tracer(enabled=cfg.trace)
         self.profiler = CpuProfiler() if cfg.profile else None
+        #: event-causality ledger, server host only (the paper's
+        #: pathology story is about the server's readiness path)
+        self.causal = CausalLedger(enabled=cfg.trace)
         self.network = Network(self.sim, cfg.bandwidth_bps, cfg.latency)
         self.server_kernel = Kernel(
             self.sim, SERVER_HOST, cpu_speed=cfg.server_cpu_speed,
             costs=cfg.costs, tracer=self.tracer, profiler=self.profiler,
-            num_cpus=cfg.server_cpus)
+            num_cpus=cfg.server_cpus, causal=self.causal)
         self.client_kernel = Kernel(
             self.sim, CLIENT_HOST, cpu_speed=cfg.client_cpu_speed,
             costs=cfg.costs, tracer=self.tracer)

@@ -174,6 +174,9 @@ class DevPollFile(File):
             costs.backmap_lock_acquire + costs.backmap_mark_hint, "devpoll.hint")
         if entry.file is not None and entry.file.supports_hints:
             self._mark_hint(entry)
+            if self.kernel.causal.enabled:
+                self.kernel.causal.enqueue(
+                    self.kernel.sim.now, entry.file, "devpoll")
         # wake DP_POLL sleepers regardless of hint support
         if self.config.wake_one:
             self.wait_queue.wake_one(self, band)

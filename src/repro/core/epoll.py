@@ -176,6 +176,9 @@ class EpollFile(File):
             "epoll.hint")
         if entry.file is not None and entry.file.supports_hints:
             self._mark_hint(entry)
+            if self.kernel.causal.enabled:
+                self.kernel.causal.enqueue(
+                    self.kernel.sim.now, entry.file, "epoll")
         self.wait_queue.wake_all(self, band)
 
     def _mark_hint(self, entry: Interest) -> None:

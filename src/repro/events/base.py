@@ -34,13 +34,23 @@ from typing import Dict, Generator, Optional, Type
 
 @dataclass
 class BackendStats:
-    """Per-backend operation counts (pure bookkeeping, never charged)."""
+    """Per-backend operation counts (pure bookkeeping, never charged).
+
+    Every backend reports the same set: interest mutations, waits,
+    delivered events, *spurious* wakeups (a ``wait()`` that returned
+    no real event -- timeouts and overflow sentinels included), and
+    the running sum of fds registered at each wait, so
+    ``registered_sum / waits`` is the mean watched-set size the
+    mechanism had to cover per harvest.
+    """
 
     registers: int = 0
     modifies: int = 0
     unregisters: int = 0
     waits: int = 0
     events: int = 0
+    spurious_wakeups: int = 0
+    registered_sum: int = 0
 
 
 class EventBackend:
@@ -143,12 +153,28 @@ class EventBackend:
 
     # -- shared accounting helpers ------------------------------------
 
-    def _note_wait(self, ready_count: int) -> None:
+    def _note_wait(self, events, registered: int) -> None:
+        """Account one completed ``wait()``.
+
+        ``events`` is the ``(fd, revents)`` list about to be returned;
+        ``registered`` is how many fds the mechanism had registered for
+        this wait.  Real events exclude negative-fd sentinels (the
+        rtsig overflow marker).  When the causal ledger is enabled the
+        harvest is stamped here -- one shared hook for all backends.
+        """
+        ready_count = len(events)
+        real_count = sum(1 for fd, _band in events if fd >= 0)
         self.stats.waits += 1
         self.stats.events += ready_count
+        self.stats.registered_sum += registered
+        if real_count == 0:
+            self.stats.spurious_wakeups += 1
         self._count("waits")
         if ready_count:
             self._count("events", ready_count)
+        if self.kernel.causal.enabled:
+            self.kernel.causal.harvest(self.sim.now, self.name, events,
+                                       self.server.task, registered)
 
 
 #: string-keyed backend registry; populated by the implementation modules

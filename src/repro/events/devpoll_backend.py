@@ -115,5 +115,6 @@ class DevpollBackend(EventBackend):
                               f"{len(ready)} ready")
         yield from sys.cpu_work(
             self.costs.user_scan_per_fd * len(ready), "app.scan")
-        self._note_wait(len(ready))
-        return [(pfd.fd, pfd.revents) for pfd in ready]
+        events = [(pfd.fd, pfd.revents) for pfd in ready]
+        self._note_wait(events, len(self._updates.in_kernel))
+        return events

@@ -80,7 +80,9 @@ class EpollBackend(EventBackend):
                               f"{len(ready)} ready")
         yield from self.sys.cpu_work(
             self.costs.user_scan_per_fd * len(ready), "app.scan")
-        self._note_wait(len(ready))
+        epoll_file = self.epoll_file
+        registered = len(epoll_file.interests) if epoll_file is not None else 0
+        self._note_wait(ready, registered)
         return ready
 
     @property

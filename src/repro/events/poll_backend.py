@@ -79,7 +79,7 @@ class PollBackend(EventBackend):
                 f"{len(interests)} fds, {len(ready)} ready")
         yield from self.sys.cpu_work(
             costs.user_scan_per_fd * len(interests), "app.scan")
-        self._note_wait(len(ready))
+        self._note_wait(ready, len(interests))
         return ready
 
     def charge_dispatch(self) -> Generator:

@@ -86,5 +86,6 @@ class RtsigBackend(EventBackend):
                 events.append((RTSIG_OVERFLOW, 0))
                 break
             events.append((info.si_fd, info.si_band))
-        self._note_wait(len(events))
+        # registered = armed connections plus the listener
+        self._note_wait(events, len(self.server.conns) + 1)
         return events

@@ -72,7 +72,7 @@ class SelectBackend(EventBackend):
             costs.user_scan_per_fd * nwatched, "app.scan")
         ready = ([(fd, POLLIN) for fd in readable]
                  + [(fd, POLLOUT) for fd in writable])
-        self._note_wait(len(ready))
+        self._note_wait(ready, nwatched)
         return ready
 
     def charge_dispatch(self) -> Generator:

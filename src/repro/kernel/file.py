@@ -98,6 +98,8 @@ class File:
         Wakes poll sleepers, marks /dev/poll hints via status listeners,
         and queues an RT signal if fasync is armed.
         """
+        if self.kernel.causal.enabled:
+            self.kernel.causal.ready(self.kernel.sim.now, self, band)
         self.wait_queue.wake_all(self, band)
         for listener in list(self._status_listeners):
             listener(self, band)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..obs.causal import NULL_LEDGER, CausalLedger
 from ..obs.metrics import MetricsRegistry
 from ..obs.profiler import CpuProfiler
 from ..obs.spans import NULL_TRACER, Span, Tracer
@@ -34,6 +35,7 @@ class Kernel:
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[CpuProfiler] = None,
         num_cpus: int = 1,
+        causal: Optional[CausalLedger] = None,
     ):
         self.sim = sim
         self.name = name
@@ -52,6 +54,8 @@ class Kernel:
             self.cpu = CPU(sim, name=f"{name}.cpu", speed=cpu_speed)
             self.cpus = [self.cpu]
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: event-causality ledger (repro.obs.causal); disabled by default
+        self.causal = causal if causal is not None else NULL_LEDGER
         #: one registry per host; every kernel/net/server tally lives here
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.counters = self.metrics.tally()

@@ -198,9 +198,15 @@ class SignalSubsystem:
             si_fd=file.async_fd,
         )
         self.kernel.charge_softirq(costs.rtsig_enqueue, "rtsig.enqueue")
-        if not task.signal_queue.post(info):
+        if task.signal_queue.post(info):
+            if self.kernel.causal.enabled:
+                self.kernel.causal.enqueue(self.kernel.sim.now, file, "rtsig")
+        else:
             # RT queue overflow: raise SIGIO instead (section 2).
             task.signal_queue.stats.overflows += 1
+            if self.kernel.causal.enabled:
+                self.kernel.causal.rtsig_overflow(
+                    self.kernel.sim.now, file.async_fd)
             if self.kernel.tracer.enabled:
                 self.kernel.trace(
                     "rtsig", f"queue overflow on {task.name}: fd "

@@ -158,6 +158,8 @@ class NetStack:
 
     def charge_rx(self, segments: int) -> None:
         costs = self.kernel.costs
+        if self.kernel.causal.enabled:
+            self.kernel.causal.packet(self.kernel.sim.now, segments)
         self.kernel.charge_softirq(
             segments * (costs.tcp_rx_packet + costs.irq_per_packet), "net.rx")
 

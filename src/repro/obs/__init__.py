@@ -29,11 +29,24 @@ benchmark or test can turn on to see inside the simulator:
   artifact (:mod:`repro.bench.capacity`) into a single self-contained
   HTML report: heatmap, latency curves, timelines, folded stacks, all
   inline, no external assets.
+* :mod:`repro.obs.causal` -- the event-causality ledger: stamps every
+  readiness notification's path (packet -> enqueue -> ``wait()`` return
+  -> dispatch -> reply), keeps wakeup-latency histograms and per-backend
+  pathology counters, and exports Chrome trace-event JSON
+  (``repro trace``).
 
 Everything is off by default and costs one attribute check per call site
 when disabled, so benchmark numbers are unaffected.
 """
 
+from .causal import (
+    NULL_LEDGER,
+    CausalLedger,
+    WakeupHistogram,
+    chrome_trace_events,
+    collect_pathologies,
+    export_chrome_trace,
+)
 from .flame import ascii_flame, collapse_profile, collapse_spans, folded_stacks, write_folded
 from .latency import LatencyHistogram
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Tally
@@ -43,12 +56,14 @@ from .spans import NULL_TRACER, Span, SpanTracer, TraceRecord, Tracer
 from .timeline import TimelineSampler, utilization_series
 
 __all__ = [
+    "CausalLedger",
     "Counter",
     "CpuProfiler",
     "Gauge",
     "Histogram",
     "LatencyHistogram",
     "MetricsRegistry",
+    "NULL_LEDGER",
     "NULL_TRACER",
     "ProfileReport",
     "Span",
@@ -57,9 +72,13 @@ __all__ = [
     "TimelineSampler",
     "TraceRecord",
     "Tracer",
+    "WakeupHistogram",
     "ascii_flame",
+    "chrome_trace_events",
     "collapse_profile",
     "collapse_spans",
+    "collect_pathologies",
+    "export_chrome_trace",
     "folded_stacks",
     "render_report",
     "split_category",

@@ -21,6 +21,9 @@ Report anatomy, top to bottom:
   bisection's own history);
 * per-cell **timeline** charts from :mod:`repro.obs.timeline`
   (per-interval CPU utilization and open connections);
+* the **pathologies** table from :mod:`repro.obs.causal` -- spurious
+  wakeups, stale events, rtsig overflows/recoveries, wakeup latency,
+  and lock wait at each cell's knee;
 * embedded **speedscope-ready folded stacks** per cell, with a
   download button (inline JS, Blob URL -- still no network);
 * the full numbers table (the accessibility fallback for every chart).
@@ -549,6 +552,58 @@ def _one_timeline_chart(cell: Dict[str, Any], timeline: Dict[str, Any],
     return "".join(parts)
 
 
+def _pathology_section(artifact: Dict[str, Any]) -> str:
+    cells = [c for c in _cells(artifact)
+             if (c.get("knee") or {}).get("pathologies")]
+    if not cells:
+        return ""
+    head = ('<tr><th class="rowhead">cell</th><th>waits</th>'
+            "<th>spurious</th><th>reg/wait</th><th>stale</th>"
+            "<th>rtsig ovfl</th><th>SIGIO rec</th>"
+            "<th>wakeup avg &micro;s</th><th>wakeup max &micro;s</th>"
+            "<th>lock wait ms</th></tr>")
+    rows = []
+    for cell in cells:
+        p = cell["knee"]["pathologies"]
+        counters = (p.get("causal") or {}).get("counters") or {}
+        wakeup = (p.get("causal") or {}).get("wakeup_latency") or {}
+        backends = p.get("backends") or []
+        waits = sum(b.get("waits", 0) for b in backends)
+        spurious = sum(b.get("spurious_wakeups", 0) for b in backends)
+        reg_sum = sum(b.get("registered_sum", 0) for b in backends)
+        reg_per_wait = (reg_sum / waits) if waits else None
+        stale = (p.get("server") or {}).get("stale_events", 0)
+        overflows = (p.get("signal_queue") or {}).get("overflows", 0)
+        recoveries = counters.get("sigio_recovery_episodes", 0)
+        smp = p.get("smp") or {}
+        lock_ms = 1e3 * (smp.get("bkl_wait_s", 0.0)
+                         + smp.get("rwlock_wait_rd_s", 0.0)
+                         + smp.get("rwlock_wait_wr_s", 0.0))
+        rows.append(
+            "<tr>"
+            f'<td class="rowhead">{_esc(cell["label"])}</td>'
+            f"<td>{waits}</td>"
+            f"<td>{spurious}</td>"
+            f"<td>{_fmt(reg_per_wait, 1)}</td>"
+            f"<td>{stale}</td>"
+            f"<td>{overflows}</td>"
+            f"<td>{recoveries}</td>"
+            f"<td>{_fmt(wakeup.get('avg_us'), 1)}</td>"
+            f"<td>{_fmt(wakeup.get('max_us'), 1)}</td>"
+            f"<td>{_fmt(lock_ms, 3)}</td>"
+            "</tr>")
+    return ("<h2>Pathologies at the knee</h2>"
+            '<p class="sub">Backend pathology accounting from the knee '
+            "verification run (traced; observation is zero-cost, so "
+            "these numbers describe the same run the knee measures): "
+            "spurious wakeups, descriptors scanned per wait, stale "
+            "post-close events, RT-signal queue overflows with SIGIO "
+            "recovery episodes, ready&rarr;harvest wakeup latency, and "
+            "lock-contention wait.</p>"
+            '<table class="data"><thead>' + head + "</thead><tbody>"
+            + "".join(rows) + "</tbody></table>")
+
+
 def _flame_section(artifact: Dict[str, Any]) -> str:
     cells = [c for c in _cells(artifact)
              if (c.get("knee") or {}).get("folded_stacks")]
@@ -632,8 +687,8 @@ def render_report(artifact: Dict[str, Any]) -> str:
         f'<section class="card">{_heatmap(artifact)}</section>',
     ]
     for block in (_latency_chart(artifact), _probe_charts(artifact),
-                  _timeline_charts(artifact), _flame_section(artifact),
-                  _numbers_table(artifact)):
+                  _timeline_charts(artifact), _pathology_section(artifact),
+                  _flame_section(artifact), _numbers_table(artifact)):
         if block:
             sections.append(f'<section class="card">{block}</section>')
     sections.append(

@@ -78,6 +78,11 @@ class InterestUpdateBatch:
     def __len__(self) -> int:
         return len(self._pending)
 
+    @property
+    def in_kernel(self) -> set:
+        """fds whose interest the kernel has actually seen (read-only)."""
+        return self._in_kernel
+
 
 @dataclass
 class ServerConfig:
@@ -303,6 +308,8 @@ class BaseServer:
         self.stats.responses += 1
         self.request_latency.record(
             (self.kernel.sim.now - conn.accepted_at) * 1000.0)
+        if self.kernel.causal.enabled:
+            self.kernel.causal.reply(self.kernel.sim.now, conn.fd)
         if conn.span is not None:
             self.kernel.span_end(conn.span, outcome="responded")
             conn.span = None

@@ -165,6 +165,8 @@ class PhhttpdServer(BaseServer):
                 yield from sys.cpu_work(
                     costs.app_event_dispatch + costs.phhttpd_timer_update,
                     "app.dispatch")
+                if self.kernel.causal.enabled:
+                    self.kernel.causal.dispatch(sim.now, fd)
                 if fd == RTSIG_OVERFLOW:
                     yield from self._overflow_recovery()
                     break
@@ -175,6 +177,8 @@ class PhhttpdServer(BaseServer):
                 if conn is None:
                     # an event queued before close(): treat as a hint only
                     self.stats.stale_events += 1
+                    if self.kernel.causal.enabled:
+                        self.kernel.causal.stale(sim.now, fd)
                     continue
                 if conn.state == READING and band & (POLLIN | POLLERR | POLLHUP):
                     yield from self.handle_readable(conn)
@@ -201,6 +205,9 @@ class PhhttpdServer(BaseServer):
         sys = self.sys
         self.overflow_at = self.kernel.sim.now
         self.mode = "polling"
+        if self.kernel.causal.enabled:
+            self.kernel.causal.recovery(self.kernel.sim.now,
+                                        conns=len(self.conns))
         span = self.kernel.span("phhttpd", "overflow_handoff",
                                 conns=len(self.conns))
         self.kernel.trace(

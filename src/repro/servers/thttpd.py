@@ -57,6 +57,8 @@ class ThttpdServer(BaseServer):
                 # e.g. fdwatch_check_fd(): poll/select re-search their
                 # whole rebuilt array per handled event
                 yield from backend.charge_dispatch()
+                if self.kernel.causal.enabled:
+                    self.kernel.causal.dispatch(sim.now, fd)
                 if fd == self.listen_fd:
                     new_conns = yield from self.accept_new()
                     for conn in new_conns:
@@ -65,9 +67,13 @@ class ThttpdServer(BaseServer):
                 conn = self.conns.get(fd)
                 if conn is None:
                     self.stats.stale_events += 1
+                    if self.kernel.causal.enabled:
+                        self.kernel.causal.stale(sim.now, fd)
                     continue
                 if revents & POLLNVAL:
                     self.stats.stale_events += 1
+                    if self.kernel.causal.enabled:
+                        self.kernel.causal.stale(sim.now, fd)
                     yield from self.close_conn(conn)
                     continue
                 if conn.state == READING and revents & (POLLIN | POLLERR | POLLHUP):
@@ -82,6 +88,8 @@ class ThttpdServer(BaseServer):
                     # select() cannot re-check a revents mask against the
                     # connection state; a mismatch is a stale event
                     self.stats.stale_events += 1
+                    if self.kernel.causal.enabled:
+                        self.kernel.causal.stale(sim.now, fd)
 
             if sim.now >= next_sweep:
                 yield from self.sweep_idle()

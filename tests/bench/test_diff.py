@@ -1,0 +1,142 @@
+"""Tests for the attributed artifact diff (repro diff)."""
+
+from repro.bench.diffing import artifact_kind, flatten_numeric, render_diff
+
+
+def _bench_entry(label, avg, p99, cpu, profile_rows=None, pathologies=None):
+    entry = {
+        "label": label,
+        "reply_rate": {"avg": avg},
+        "error_percent": 0.0,
+        "latency_percentiles": {"p99": p99},
+        "cpu_utilization": cpu,
+    }
+    if profile_rows is not None:
+        entry["profile"] = {"total_cpu_seconds": 1.0, "rows": profile_rows}
+    if pathologies is not None:
+        entry["pathologies"] = pathologies
+    return entry
+
+
+def _bench(fingerprint, entries):
+    return {"artifact_version": 3, "fingerprint": fingerprint,
+            "points": entries}
+
+
+def test_artifact_kind_by_shape():
+    assert artifact_kind({"points": []}) == "bench"
+    assert artifact_kind({"cells": []}) == "capacity"
+    assert artifact_kind({"figures": []}) == "unknown"
+
+
+def test_flatten_numeric_names_backends_and_skips_bools():
+    block = {"causal": {"counters": {"waits": 4}},
+             "backends": [{"name": "poll", "waits": 4, "ok": True}],
+             "label": "text"}
+    flat = flatten_numeric(block)
+    assert flat == {"causal.counters.waits": 4.0,
+                    "backends.poll.waits": 4.0}
+
+
+def test_identical_artifacts_diff_clean():
+    entry = _bench_entry("thttpd@150/1", 150.0, 2.0, 0.5)
+    text = render_diff(_bench("abc", [entry]), _bench("abc", [dict(entry)]))
+    assert "measure identically" in text
+    assert "note:" not in text
+
+
+def test_mismatched_kinds_refuse():
+    text = render_diff({"points": []}, {"cells": []})
+    assert text.startswith("cannot diff")
+
+
+def test_headline_deltas_and_fingerprint_warning():
+    old = _bench("aaa", [_bench_entry("thttpd@150/1", 150.0, 2.0, 0.50)])
+    new = _bench("bbb", [_bench_entry("thttpd@150/1", 120.0, 5.0, 0.65)])
+    text = render_diff(old, new)
+    assert "fingerprints differ" in text
+    assert "replies/s avg:  150.0 -> 120.0  (-30.0, -20.0%)" in text
+    assert "p99 ms:  2.00 -> 5.00" in text
+    assert "cpu %:  50.0 -> 65.0" in text
+
+
+def test_profile_movers_attribute_the_delta():
+    rows_old = [{"subsystem": "devpoll", "operation": "driver_callback",
+                 "cpu_seconds": 0.026, "share": 0.015},
+                {"subsystem": "net", "operation": "rx",
+                 "cpu_seconds": 0.150, "share": 0.1}]
+    rows_new = [{"subsystem": "devpoll", "operation": "driver_callback",
+                 "cpu_seconds": 1.291, "share": 0.43},
+                {"subsystem": "net", "operation": "rx",
+                 "cpu_seconds": 0.150, "share": 0.1}]
+    old = _bench("f", [_bench_entry("d@800/500", 800.0, 3.0, 0.6,
+                                    profile_rows=rows_old)])
+    new = _bench("f", [_bench_entry("d@800/500", 700.0, 9.0, 0.9,
+                                    profile_rows=rows_new)])
+    text = render_diff(old, new)
+    assert "CPU movers" in text
+    assert "devpoll.driver_callback  +1265.000 ms" in text
+    assert "net.rx" not in text  # unchanged rows never print
+
+
+def test_pathology_deltas_flattened():
+    old_p = {"causal": {"counters": {"spurious_waits": 2}},
+             "backends": [{"name": "poll", "waits": 100}]}
+    new_p = {"causal": {"counters": {"spurious_waits": 9}},
+             "backends": [{"name": "poll", "waits": 100}]}
+    old = _bench("f", [_bench_entry("t@150/1", 150.0, 2.0, 0.5,
+                                    pathologies=old_p)])
+    new = _bench("f", [_bench_entry("t@150/1", 140.0, 2.0, 0.5,
+                                    pathologies=new_p)])
+    text = render_diff(old, new)
+    assert "pathology deltas:" in text
+    assert "causal.counters.spurious_waits  +7" in text
+
+
+def test_one_sided_tracing_is_called_out():
+    old = _bench("f", [_bench_entry("t@150/1", 150.0, 2.0, 0.5)])
+    new = _bench("f", [_bench_entry("t@150/1", 140.0, 2.0, 0.5,
+                                    pathologies={"causal": {}})])
+    text = render_diff(old, new)
+    assert "only the new side was traced" in text
+
+
+def test_missing_and_extra_labels_reported():
+    old = _bench("f", [_bench_entry("a@1/1", 1.0, 1.0, 0.1)])
+    new = _bench("f", [_bench_entry("b@2/2", 2.0, 2.0, 0.2)])
+    text = render_diff(old, new)
+    assert "only in old: a@1/1" in text
+    assert "only in new: b@2/2" in text
+
+
+def test_capacity_cells_diff_on_knee():
+    def cell(capacity, knee_avg, pathologies=None):
+        knee = {"reply_rate": {"avg": knee_avg},
+                "error_percent": 0.0,
+                "latency_percentiles": {"p99": 4.0},
+                "cpu_utilization": 0.9,
+                "profile_top": [{"subsystem": "poll",
+                                 "operation": "driver_callback",
+                                 "cpu_seconds": 0.5, "share": 0.4}]}
+        if pathologies is not None:
+            knee["pathologies"] = pathologies
+        return {"label": "select@251", "capacity": capacity,
+                "probes": [{}] * 4, "knee": knee}
+
+    old = {"cells": [cell(700.0, 690.0,
+                          {"causal": {"counters": {"waits": 50}}})],
+           "fingerprint": "cap"}
+    new = {"cells": [cell(500.0, 480.0,
+                          {"causal": {"counters": {"waits": 80}}})],
+           "fingerprint": "cap"}
+    text = render_diff(old, new)
+    assert "capacity replies/s:  700 -> 500" in text
+    assert "causal.counters.waits  +30" in text
+
+
+def test_failed_point_is_structural_not_numeric():
+    old = _bench("f", [_bench_entry("t@150/1", 150.0, 2.0, 0.5)])
+    new = _bench("f", [{"label": "t@150/1", "failed": True,
+                        "error": "boom"}])
+    text = render_diff(old, new)
+    assert "failed: False -> True" in text

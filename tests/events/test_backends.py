@@ -119,6 +119,33 @@ def test_capability_flags():
 
 
 # ---------------------------------------------------------------------------
+# unified stats: every backend counts waits the same way
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["select", "poll", "devpoll", "epoll"])
+def test_unified_stats_spurious_and_registered(kernel, name):
+    # rtsig's wait needs the full server loop; its unified stats are
+    # pinned end-to-end in tests/obs/test_causal.py instead.
+    server = FakeServer(kernel)
+    backend = make_backend(name, server)
+    run(server, backend.setup())
+    f, fd = open_file(server)
+    run(server, backend.register(fd, POLLIN))
+    ready = run(server, backend.wait(timeout=0))
+    assert ready == []
+    assert backend.stats.waits == 1
+    assert backend.stats.spurious_wakeups == 1  # woke with nothing ready
+    f.set_ready(POLLIN)
+    ready = run(server, backend.wait(timeout=0))
+    assert (fd, POLLIN) in ready
+    assert backend.stats.waits == 2
+    assert backend.stats.spurious_wakeups == 1  # a real harvest isn't spurious
+    assert backend.stats.events >= 1
+    # listener + conn watched on both waits, whatever the mechanism
+    assert backend.stats.registered_sum == 4
+
+
+# ---------------------------------------------------------------------------
 # userspace backends: mutation is free, bookkeeping is local
 # ---------------------------------------------------------------------------
 

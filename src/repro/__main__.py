@@ -373,20 +373,42 @@ def cmd_diff(args) -> int:
 
 def cmd_selfperf(args) -> int:
     """Measure harness speed: simulator events per host second."""
-    from repro.bench.selfperf import run_selfperf
+    from repro.bench.selfperf import check_floor, run_selfperf
 
-    block = run_selfperf(include_point=not args.engine_only)
+    block = run_selfperf(include_point=not args.engine_only,
+                         repeat=args.repeat,
+                         calibrate=args.floor is not None)
     for name, data in block.items():
+        if name == "calibration":
+            print(f"calibration: {data['loops_per_second']:,.0f} loops/s")
+            continue
         print(f"{name}: {data['events_processed']} events in "
               f"{data['sim_wall_seconds']:.3f}s host = "
               f"{data['events_per_second']:,.0f} events/s")
         if name == "engine_churn":
             print(f"  heap compactions {data['heap_compactions']}, "
-                  f"cancelled purged {data['cancelled_purged']}")
+                  f"cancelled purged {data['cancelled_purged']}, "
+                  f"setup {data['setup_seconds']:.3f}s (untimed)")
     if args.json is not None:
         if not _write_json(args.json, block):
             return 1
         print(f"selfperf -> {args.json}")
+    if args.floor is not None:
+        try:
+            with open(args.floor, encoding="utf-8") as fh:
+                floor = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"repro: cannot read floor {args.floor}: {err}",
+                  file=sys.stderr)
+            return 2
+        ok, lines = check_floor(block, floor)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("selfperf: BELOW the events/s ratchet floor",
+                  file=sys.stderr)
+            return 1
+        print("selfperf: above the ratchet floor")
     return 0
 
 
@@ -704,6 +726,13 @@ def main(argv=None) -> int:
                         help="skip the end-to-end point workload")
     p_perf.add_argument("--json", metavar="FILE",
                         help="also write the block as JSON")
+    p_perf.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run each workload N times, keep the best "
+                             "(default 1)")
+    p_perf.add_argument("--floor", metavar="FILE",
+                        help="check events/s against a ratchet floor file "
+                             "(exit 1 if below the calibration-scaled "
+                             "floor)")
 
     args = parser.parse_args(argv)
     if args.command == "point":

@@ -107,6 +107,7 @@ class DevPollFile(File):
 
     file_type = "devpoll"
     supports_hints = False  # /dev/poll itself is not pollable
+    fuse_write_entry = True  # do_write takes the fused entry_part kwarg
 
     def __init__(self, kernel: "Kernel", config: Optional[DevPollConfig] = None):
         super().__init__(kernel, name="/dev/poll")
@@ -127,13 +128,23 @@ class DevPollFile(File):
     # ------------------------------------------------------------------
     # interest-set maintenance (write())
     # ------------------------------------------------------------------
-    def do_write(self, task: "Task", updates: Sequence[PollFd]):
-        """write() of a pollfd array: add/modify/remove interests."""
+    def do_write(self, task: "Task", updates: Sequence[PollFd],
+                 entry_part=None):
+        """write() of a pollfd array: add/modify/remove interests.
+
+        With ``entry_part`` (uniprocessor fast path) the syscall-entry
+        charge fuses with the per-fd update charge into one grant.
+        """
         costs = self.kernel.costs
         if updates:
-            yield self.kernel.cpu.consume(
-                costs.devpoll_update_per_fd * len(updates), PRIO_USER,
-                "devpoll.update")
+            update_cost = costs.devpoll_update_per_fd * len(updates)
+            if entry_part is not None:
+                yield self.kernel.cpu.consume_parts(
+                    (entry_part,
+                     ("devpoll.update", update_cost, None)), PRIO_USER)
+            else:
+                yield self.kernel.cpu.consume(
+                    update_cost, PRIO_USER, "devpoll.update")
         for pfd in updates:
             self._apply_update(task, pfd)
         self.stats.updates += len(updates)

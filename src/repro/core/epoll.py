@@ -97,10 +97,19 @@ class EpollFile(File):
     # ------------------------------------------------------------------
     # epoll_ctl
     # ------------------------------------------------------------------
-    def ctl(self, task: "Task", op: int, fd: int, events: int = 0):
-        """One interest mutation; charges ``epoll_ctl_op``."""
-        yield self.kernel.cpu.consume(
-            self.kernel.costs.epoll_ctl_op, PRIO_USER, "epoll.ctl")
+    def ctl(self, task: "Task", op: int, fd: int, events: int = 0,
+            entry_part=None):
+        """One interest mutation; charges ``epoll_ctl_op``.
+
+        With ``entry_part`` (uniprocessor fast path) the syscall-entry
+        charge fuses with the mutation charge into one grant.
+        """
+        if entry_part is not None:
+            yield self.kernel.cpu.consume_parts(
+                self.kernel.fused.epoll_ctl_parts, PRIO_USER)
+        else:
+            yield self.kernel.cpu.consume(
+                self.kernel.costs.epoll_ctl_op, PRIO_USER, "epoll.ctl")
         if op == EPOLL_CTL_ADD:
             self._ctl_add(task, fd, events)
         elif op == EPOLL_CTL_MOD:

@@ -28,12 +28,24 @@ from ..sim.resources import PRIO_USER
 
 
 def sys_poll(task: Task, interests: Sequence[Tuple[int, int]],
-             timeout: Optional[float]):
-    """Generator implementing poll(); called via SyscallInterface.poll."""
+             timeout: Optional[float], deadline_abs: Optional[float] = None,
+             build_part=None, tail_parts=(), fuse: bool = False):
+    """Generator implementing poll(); called via SyscallInterface.poll.
+
+    With ``build_part`` set (uniprocessor fast path), the caller's
+    userspace build charge, the syscall entry, the copyin, and the first
+    scan are issued as one fused grant -- each still its own FIFO slice,
+    so interrupt work interposes identically -- and the copyout plus the
+    caller's ``tail_parts`` (its revents scan) fuse on the way out.  The
+    boundary stamps reproduce the legacy path's two clock reads: the
+    relative timeout derived from ``deadline_abs`` after the build, and
+    the absolute wakeup deadline pinned after the copyin.
+    """
     kernel = task.kernel
     costs = kernel.costs
     sim = kernel.sim
     n = len(interests)
+    fuse = fuse or build_part is not None
 
     def charge(seconds: float, category: str,
                operation: Optional[str] = None):
@@ -41,11 +53,6 @@ def sys_poll(task: Task, interests: Sequence[Tuple[int, int]],
             breakdown = ((operation, seconds),) if operation else None
             yield kernel.cpu.consume(seconds, PRIO_USER, category,
                                      breakdown=breakdown)
-
-    # 1. copy in and parse the whole interest set
-    yield from charge(costs.poll_copyin_per_fd * n, "poll.copyin")
-
-    deadline = None if timeout is None else sim.now + timeout
 
     def scan():
         """Invoke the driver poll callback on every descriptor."""
@@ -59,6 +66,84 @@ def sys_poll(task: Task, interests: Sequence[Tuple[int, int]],
             if mask:
                 ready.append((fd, mask))
         return ready
+
+    def wait_for_ready(remaining: Optional[float]):
+        # 3. nothing ready: hang a wait-queue entry on every file
+        wake = sim.event("poll.wake")
+        entries: List[WaitEntry] = []
+
+        def on_wake(*_args) -> None:
+            if not wake.triggered:
+                wake.trigger(None)
+
+        for fd, _events in interests:
+            file = task.fdtable.lookup(fd)
+            if file is not None and not file.closed:
+                entries.append(file.wait_queue.add(on_wake, autoremove=False))
+        try:
+            yield from wait_with_timeout(sim, wake, remaining)
+        finally:
+            for entry in entries:
+                entry.queue.remove(entry)
+
+    if fuse:
+        fused = kernel.fused
+        cpu = kernel.cpu
+        scan_cost = fused.poll_scan_per_fd * n
+        copyin = ("poll.copyin", fused.poll_copyin_per_fd * n, None)
+        scan_part = ("poll.scan", scan_cost,
+                     (("driver_callback", scan_cost),))
+        stamps: List[float] = []
+        if build_part is not None:
+            yield cpu.consume_parts(
+                (build_part, fused.entry_part, copyin, scan_part),
+                PRIO_USER, stamps=stamps)
+            t_build_end, t_copyin_end = stamps[0], stamps[2]
+        else:
+            # no userspace build part: a deadline-passing caller would
+            # have derived its timeout at issue time
+            t_build_end = sim.now
+            yield cpu.consume_parts(
+                (fused.entry_part, copyin, scan_part),
+                PRIO_USER, stamps=stamps)
+            t_copyin_end = stamps[1]
+        # Reconstruct the legacy clock reads from the boundary stamps:
+        # the backend derived the relative timeout right after its
+        # pollfd build; the kernel pinned the absolute deadline right
+        # after the copyin.
+        if timeout is None and deadline_abs is not None:
+            timeout = max(0.0, deadline_abs - t_build_end)
+        deadline = None if timeout is None else t_copyin_end + timeout
+        ready = scan()
+        if kernel.tracer.enabled:
+            kernel.trace("poll", f"scan n={n} ready={len(ready)}")
+        while True:
+            if ready or timeout == 0:
+                yield cpu.consume_parts(
+                    (("poll.copyout",
+                      fused.poll_copyout_per_ready * len(ready), None),)
+                    + tuple(tail_parts), PRIO_USER)
+                return ready
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = deadline - sim.now
+                if remaining <= 0:
+                    if tail_parts:
+                        yield cpu.consume_parts(tuple(tail_parts), PRIO_USER)
+                    return []
+            yield from charge(costs.poll_waitqueue_per_fd * n,
+                              "poll.waitqueue")
+            yield from wait_for_ready(remaining)
+            yield from charge(costs.poll_driver_callback * n, "poll.scan",
+                              "driver_callback")
+            ready = scan()
+            if kernel.tracer.enabled:
+                kernel.trace("poll", f"scan n={n} ready={len(ready)}")
+
+    # 1. copy in and parse the whole interest set
+    yield from charge(costs.poll_copyin_per_fd * n, "poll.copyin")
+
+    deadline = None if timeout is None else sim.now + timeout
 
     while True:
         # 2. full scan, one driver callback per descriptor.  2.2 ran the
@@ -81,22 +166,6 @@ def sys_poll(task: Task, interests: Sequence[Tuple[int, int]],
             remaining = deadline - sim.now
             if remaining <= 0:
                 return []
-        # 3. nothing ready: hang a wait-queue entry on every file
         yield from charge(costs.poll_waitqueue_per_fd * n, "poll.waitqueue")
-        wake = sim.event("poll.wake")
-        entries: List[WaitEntry] = []
-
-        def on_wake(*_args) -> None:
-            if not wake.triggered:
-                wake.trigger(None)
-
-        for fd, _events in interests:
-            file = task.fdtable.lookup(fd)
-            if file is not None and not file.closed:
-                entries.append(file.wait_queue.add(on_wake, autoremove=False))
-        try:
-            yield from wait_with_timeout(sim, wake, remaining)
-        finally:
-            for entry in entries:
-                entry.queue.remove(entry)
+        yield from wait_for_ready(remaining)
         # loop around: rescan (and notice deadline expiry)

@@ -37,13 +37,18 @@ _FDS_PER_WORD = 32
 
 
 def sys_select(task: Task, readfds: Iterable[int], writefds: Iterable[int],
-               timeout: Optional[float]):
+               timeout: Optional[float], deadline_abs: Optional[float] = None,
+               build_part=None, tail_parts=()):
     """Generator implementing select(); returns (readable, writable).
 
     ``readfds``/``writefds`` are iterables of descriptors.  Raises
     ``EINVAL`` for any fd at or beyond :data:`FD_SETSIZE` and ``EBADF``
     for closed descriptors (select, unlike poll, has no per-fd error
     reporting -- the whole call fails).
+
+    ``build_part``/``tail_parts``/``deadline_abs`` engage the fused
+    uniprocessor fast path exactly as in
+    :func:`repro.core.poll_syscall.sys_poll`.
     """
     kernel = task.kernel
     costs = kernel.costs
@@ -64,9 +69,6 @@ def sys_select(task: Task, readfds: Iterable[int], writefds: Iterable[int],
     # three bitmaps (read/write/except) copied in, three copied out --
     # proportional to maxfd, not to the number of watched fds
     bitmap_cost = 6 * words * costs.poll_copyin_per_fd
-    yield from charge(bitmap_cost, "select.bitmaps")
-
-    deadline = None if timeout is None else sim.now + timeout
 
     def scan() -> Tuple[List[int], List[int]]:
         readable, writable = [], []
@@ -80,6 +82,64 @@ def sys_select(task: Task, readfds: Iterable[int], writefds: Iterable[int],
             if fd in wset and mask & (POLLOUT | POLLERR):
                 writable.append(fd)
         return readable, writable
+
+    def wait_for_ready(remaining: Optional[float]):
+        wake = sim.event("select.wake")
+        entries = []
+
+        def on_wake(*_args) -> None:
+            if not wake.triggered:
+                wake.trigger(None)
+
+        for fd in watched:
+            file = task.fdtable.lookup(fd)
+            if file is not None and not file.closed:
+                entries.append(file.wait_queue.add(on_wake, autoremove=False))
+        try:
+            yield from wait_with_timeout(sim, wake, remaining)
+        finally:
+            for entry in entries:
+                entry.queue.remove(entry)
+
+    if build_part is not None:
+        fused = kernel.fused
+        cpu = kernel.cpu
+        scan_cost = costs.poll_driver_callback * len(watched)
+        stamps: List[float] = []
+        yield cpu.consume_parts(
+            (build_part, fused.entry_part,
+             ("select.bitmaps", bitmap_cost, None),
+             ("select.scan", scan_cost, None)),
+            PRIO_USER, stamps=stamps)
+        # boundary stamps reproduce the legacy clock reads: relative
+        # timeout after the caller's fd_set build, absolute deadline
+        # after the bitmap copyin
+        if timeout is None and deadline_abs is not None:
+            timeout = max(0.0, deadline_abs - stamps[0])
+        deadline = None if timeout is None else stamps[2] + timeout
+        readable, writable = scan()
+        while True:
+            if readable or writable or timeout == 0:
+                yield cpu.consume_parts(
+                    (("select.bitmaps", bitmap_cost, None),)
+                    + tuple(tail_parts), PRIO_USER)
+                return readable, writable
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = deadline - sim.now
+                if remaining <= 0:
+                    if tail_parts:
+                        yield cpu.consume_parts(tuple(tail_parts), PRIO_USER)
+                    return [], []
+            yield from charge(costs.poll_waitqueue_per_fd * len(watched),
+                              "select.waitqueue")
+            yield from wait_for_ready(remaining)
+            yield from charge(scan_cost, "select.scan")
+            readable, writable = scan()
+
+    yield from charge(bitmap_cost, "select.bitmaps")
+
+    deadline = None if timeout is None else sim.now + timeout
 
     while True:
         # the O(watched) driver scan ran under the big kernel lock in
@@ -99,19 +159,4 @@ def sys_select(task: Task, readfds: Iterable[int], writefds: Iterable[int],
                 return [], []
         yield from charge(costs.poll_waitqueue_per_fd * len(watched),
                           "select.waitqueue")
-        wake = sim.event("select.wake")
-        entries = []
-
-        def on_wake(*_args) -> None:
-            if not wake.triggered:
-                wake.trigger(None)
-
-        for fd in watched:
-            file = task.fdtable.lookup(fd)
-            if file is not None and not file.closed:
-                entries.append(file.wait_queue.add(on_wake, autoremove=False))
-        try:
-            yield from wait_with_timeout(sim, wake, remaining)
-        finally:
-            for entry in entries:
-                entry.queue.remove(entry)
+        yield from wait_for_ready(remaining)

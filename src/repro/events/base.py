@@ -142,6 +142,17 @@ class EventBackend:
         return
         yield  # pragma: no cover - marks this as a generator
 
+    def dispatch_parts(self) -> tuple:
+        """:meth:`charge_dispatch` as fused-grant parts.
+
+        The uniprocessor server loop fuses these behind its own
+        ``app.dispatch`` charge (one grant, one calendar round-trip per
+        delivered event); must describe exactly the charges
+        :meth:`charge_dispatch` would issue.  Ready-list mechanisms
+        return the empty tuple.
+        """
+        return ()
+
     def interest_forget(self, fd: int) -> None:
         """Drop local interest state for a closing fd (never charged).
 

@@ -63,26 +63,45 @@ class PollBackend(EventBackend):
              timeout: Optional[float] = None,
              deadline: Optional[float] = None) -> Generator:
         server = self.server
-        costs = self.costs
+        kernel = self.kernel
         interests = self._build()
-        self._nwatched = len(interests)
+        n = len(interests)
+        self._nwatched = n
+        if kernel.smp is None and not kernel.tracer.enabled:
+            # fused fast path: app.build + syscall entry + copyin + scan
+            # become one grant, and copyout + app.scan another; the
+            # timeout-after-build clock read is reconstructed inside
+            # sys_poll from the grant's boundary stamps
+            fused = kernel.fused
+            ready = yield from self.sys.poll(
+                interests, timeout, deadline=deadline,
+                build_part=("app.build", fused.user_build_per_fd * n, None),
+                tail_parts=(("app.scan", fused.user_scan_per_fd * n, None),))
+            self._note_wait(ready, n)
+            return ready
+        costs = self.costs
         yield from self.sys.cpu_work(
-            costs.user_pollfd_build_per_fd * len(interests), "app.build")
+            costs.user_pollfd_build_per_fd * n, "app.build")
         # timeout is derived *after* the array build, which advanced
         # simulated time -- exactly where the legacy loop computed it
         timeout = self._deadline_timeout(deadline, timeout)
         ready = yield from self.sys.poll(interests, timeout)
-        if self.kernel.tracer.enabled:
-            self.kernel.trace(
+        if kernel.tracer.enabled:
+            kernel.trace(
                 server.name,
                 f"loop {server.stats.loops}: poll over "
-                f"{len(interests)} fds, {len(ready)} ready")
+                f"{n} fds, {len(ready)} ready")
         yield from self.sys.cpu_work(
-            costs.user_scan_per_fd * len(interests), "app.scan")
-        self._note_wait(ready, len(interests))
+            costs.user_scan_per_fd * n, "app.scan")
+        self._note_wait(ready, n)
         return ready
 
     def charge_dispatch(self) -> Generator:
         yield from self.sys.cpu_work(
             self.costs.user_fdwatch_check_per_fd * self._nwatched,
             "app.fdwatch")
+
+    def dispatch_parts(self) -> tuple:
+        return (("app.fdwatch",
+                 self.costs.user_fdwatch_check_per_fd * self._nwatched,
+                 None),)

@@ -38,6 +38,9 @@ class File:
     file_type = "file"
     #: True for drivers modified to post hints to /dev/poll backmaps.
     supports_hints = False
+    #: True when do_write accepts an ``entry_part`` kwarg and can fuse
+    #: the syscall-entry charge with its own (the /dev/poll device).
+    fuse_write_entry = False
 
     def __init__(self, kernel: "Kernel", name: str = "file"):
         self.kernel = kernel

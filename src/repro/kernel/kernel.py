@@ -17,6 +17,7 @@ from ..obs.spans import NULL_TRACER, Span, Tracer
 from ..sim.engine import Simulator
 from ..sim.resources import CPU, PRIO_SOFTIRQ
 from .costs import DEFAULT_COSTS, CostModel
+from .fused import FusedCostTable
 from .signals import SignalSubsystem
 from .task import Task
 
@@ -40,6 +41,8 @@ class Kernel:
         self.sim = sim
         self.name = name
         self.costs = costs
+        #: precomputed fused-charge part tables (built once per kernel)
+        self.fused = FusedCostTable(costs)
         if num_cpus > 1:
             # local import: repro.smp builds on sim.resources and reads
             # kernel.costs, so the dependency must point this way
@@ -105,7 +108,7 @@ class Kernel:
         server (the paper's "bursty and unpredictable interrupt load").
         """
         if seconds > 0:
-            self.cpu.consume(seconds, PRIO_SOFTIRQ, category)
+            self.cpu.consume(seconds, PRIO_SOFTIRQ, category, nowait=True)
 
     def trace(self, subsystem: str, message: str) -> None:
         self.tracer.trace(self.sim.now, subsystem, message)

@@ -84,6 +84,14 @@ class SyscallInterface:
 
     def write(self, fd: int, data: bytes):
         file = self._file(fd)
+        kernel = self.kernel
+        if kernel.smp is None and file.fuse_write_entry and data:
+            # files that opt in (the /dev/poll interest list) take the
+            # syscall-entry charge fused with their own update charge
+            kernel.counters.inc("sys.write")
+            result = yield from file.do_write(
+                self.task, data, entry_part=kernel.fused.entry_part)
+            return result
         yield from self._enter("write")
         result = yield from file.do_write(self.task, data)
         return result
@@ -92,8 +100,14 @@ class SyscallInterface:
         file = self.task.fdtable.lookup(fd)
         if file is None:
             raise SyscallError(EBADF, f"close({fd})")
-        yield from self._enter("close")
-        yield from self._charge(self.costs.close_op, "close")
+        kernel = self.kernel
+        if kernel.smp is None:
+            kernel.counters.inc("sys.close")
+            yield kernel.cpu.consume_parts(kernel.fused.close_parts,
+                                           PRIO_USER)
+        else:
+            yield from self._enter("close")
+            yield from self._charge(self.costs.close_op, "close")
         self.task.fdtable.close(fd)
         return 0
 
@@ -124,8 +138,14 @@ class SyscallInterface:
 
     def fcntl(self, fd: int, op: int, arg: int = 0):
         file = self._file(fd)
-        yield from self._enter("fcntl")
-        yield from self._charge(self.costs.fcntl_op, "fcntl")
+        kernel = self.kernel
+        if kernel.smp is None:
+            kernel.counters.inc("sys.fcntl")
+            yield kernel.cpu.consume_parts(kernel.fused.fcntl_parts,
+                                           PRIO_USER)
+        else:
+            yield from self._enter("fcntl")
+            yield from self._charge(self.costs.fcntl_op, "fcntl")
         if op == F_GETFL:
             return file.f_flags
         if op == F_SETFL:
@@ -153,27 +173,51 @@ class SyscallInterface:
     # event interfaces (implemented in repro.core)
     # ------------------------------------------------------------------
     def poll(self, interests: Sequence[Tuple[int, int]],
-             timeout: Optional[float]):
+             timeout: Optional[float], deadline: Optional[float] = None,
+             build_part=None, tail_parts=()):
         """Classic ``poll(2)``: ``interests`` is ``[(fd, events), ...]``.
 
         Returns ``[(fd, revents), ...]`` for ready descriptors only.
         ``timeout`` in seconds; ``None`` blocks forever, ``0`` polls.
+
+        ``build_part``/``tail_parts``/``deadline`` engage the fused fast
+        path used by the server event backends: userspace pollfd build,
+        syscall entry, copyin, and the first scan become one fused grant
+        (boundary stamps reproduce the legacy timeout arithmetic), and
+        copyout plus the caller's revents scan fuse on the way out.
         """
         from ..core.poll_syscall import sys_poll
 
+        kernel = self.kernel
+        if kernel.smp is None:
+            kernel.counters.inc("sys.poll")
+            result = yield from sys_poll(
+                self.task, interests, timeout, deadline_abs=deadline,
+                build_part=build_part, tail_parts=tail_parts, fuse=True)
+            return result
         yield from self._enter("poll")
         result = yield from sys_poll(self.task, interests, timeout)
         return result
 
     def select(self, readfds: Sequence[int], writefds: Sequence[int] = (),
-               timeout: Optional[float] = None):
+               timeout: Optional[float] = None,
+               deadline: Optional[float] = None,
+               build_part=None, tail_parts=()):
         """Classic ``select(2)``; returns ``(readable, writable)``.
 
         Capped at FD_SETSIZE (1024) descriptors -- the very limit that
-        forced the authors to modify httperf (section 5).
+        forced the authors to modify httperf (section 5).  The fused
+        keywords mirror :meth:`poll`.
         """
         from ..core.select_syscall import sys_select
 
+        kernel = self.kernel
+        if build_part is not None and kernel.smp is None:
+            kernel.counters.inc("sys.select")
+            result = yield from sys_select(
+                self.task, readfds, writefds, timeout, deadline_abs=deadline,
+                build_part=build_part, tail_parts=tail_parts)
+            return result
         yield from self._enter("select")
         result = yield from sys_select(self.task, readfds, writefds, timeout)
         return result
@@ -237,6 +281,12 @@ class SyscallInterface:
         from ..core.epoll import EpollFile
 
         file = self._file(epfd)
+        kernel = self.kernel
+        if kernel.smp is None and isinstance(file, EpollFile):
+            kernel.counters.inc("sys.epoll_ctl")
+            result = yield from file.ctl(self.task, op, fd, events,
+                                         entry_part=kernel.fused.entry_part)
+            return result
         yield from self._enter("epoll_ctl")
         if not isinstance(file, EpollFile):
             raise SyscallError(EINVAL, f"epoll_ctl: fd {epfd} is not epoll")
@@ -314,11 +364,17 @@ class SyscallInterface:
     def socket(self):
         from ..net.socket import SocketFile
 
-        if self.kernel.net is None:
+        kernel = self.kernel
+        if kernel.net is None:
             raise SyscallError(ENOTSOCK, "no network stack attached")
-        yield from self._enter("socket")
-        yield from self._charge(
-            self.costs.socket_create + self.costs.fd_alloc, "socket")
+        if kernel.smp is None:
+            kernel.counters.inc("sys.socket")
+            yield kernel.cpu.consume_parts(kernel.fused.socket_parts,
+                                           PRIO_USER)
+        else:
+            yield from self._enter("socket")
+            yield from self._charge(
+                self.costs.socket_create + self.costs.fd_alloc, "socket")
         file = SocketFile(self.kernel)
         fd = self.task.fdtable.alloc(file)
         return fd
@@ -367,8 +423,14 @@ class SyscallInterface:
         from ..net.socket import require_socket
 
         sock = require_socket(self._file(fd))
-        yield from self._enter("connect")
-        yield from self._charge(self.costs.connect_op, "connect")
+        kernel = self.kernel
+        if kernel.smp is None:
+            kernel.counters.inc("sys.connect")
+            yield kernel.cpu.consume_parts(kernel.fused.connect_parts,
+                                           PRIO_USER)
+        else:
+            yield from self._enter("connect")
+            yield from self._charge(self.costs.connect_op, "connect")
         result = yield from sock.do_connect(self.task, addr, timeout)
         return result
 

@@ -14,6 +14,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, Optional, Union
 
 from ..kernel.constants import EADDRINUSE, SyscallError
+from ..sim.resources import PRIO_SOFTIRQ
 from .link import Network
 from .tcp import TIME_WAIT_SECONDS, Listener, ReusePortGroup, TcpEndpoint
 
@@ -47,6 +48,12 @@ class NetStack:
         self._free_ports: Deque[int] = deque(range(EPHEMERAL_LOW, EPHEMERAL_HIGH))
         self._ports_in_use = 0
         self.time_wait_count = 0
+        # per-unit softirq charges, summed once here instead of per packet
+        fused = kernel.fused
+        self._rx_per_segment = fused.net_rx_per_segment
+        self._tx_per_segment = fused.net_tx_per_segment
+        self._ack_tx_per_ack = fused.net_ack_tx_per_ack
+        self._ack_rx_per_ack = fused.net_ack_rx_per_ack
         kernel.net = self
         network.attach(self)
 
@@ -152,25 +159,36 @@ class NetStack:
     # CPU charging (softirq context at this host)
     # ------------------------------------------------------------------
     def charge_tx(self, segments: int) -> None:
-        costs = self.kernel.costs
         self.kernel.charge_softirq(
-            segments * (costs.tcp_tx_packet + costs.irq_per_packet), "net.tx")
+            segments * self._tx_per_segment, "net.tx")
 
     def charge_rx(self, segments: int) -> None:
-        costs = self.kernel.costs
         if self.kernel.causal.enabled:
             self.kernel.causal.packet(self.kernel.sim.now, segments)
         self.kernel.charge_softirq(
-            segments * (costs.tcp_rx_packet + costs.irq_per_packet), "net.rx")
+            segments * self._rx_per_segment, "net.rx")
 
     def charge_ack_tx(self, acks: int) -> None:
-        costs = self.kernel.costs
-        self.kernel.charge_softirq(acks * costs.tcp_tx_packet, "net.ack")
+        self.kernel.charge_softirq(acks * self._ack_tx_per_ack, "net.ack")
 
     def charge_ack_rx(self, acks: int) -> None:
-        costs = self.kernel.costs
         self.kernel.charge_softirq(
-            acks * (costs.tcp_rx_packet + costs.irq_per_packet), "net.ack")
+            acks * self._ack_rx_per_ack, "net.ack")
+
+    def charge_rx_ack(self, segments: int, acks: int) -> None:
+        """Fused data-rx + delayed-ACK-tx softirq pair.
+
+        ``receive_data`` always issues these two charges back to back at
+        the same instant from the same (synchronous) caller, so they fuse
+        into one grant: same FIFO slices, one completion Event.
+        """
+        kernel = self.kernel
+        if kernel.causal.enabled:
+            kernel.causal.packet(kernel.sim.now, segments)
+        kernel.cpu.consume_parts(
+            (("net.rx", segments * self._rx_per_segment, None),
+             ("net.ack", acks * self._ack_tx_per_ack, None)),
+            PRIO_SOFTIRQ, nowait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<NetStack {self.host_name!r} open={self.open_connections} "

@@ -231,8 +231,7 @@ class TcpEndpoint:
             on_arrival)
 
     def receive_data(self, chunk: bytes, segs: int) -> None:
-        self.stack.charge_rx(segs)
-        self.stack.charge_ack_tx(max(1, segs // 2))
+        self.stack.charge_rx_ack(segs, max(1, segs // 2))
         if self.finalized or self.reset or self.closing:
             # Data for a connection the application abandoned: abort.
             self.send_rst()

@@ -20,6 +20,7 @@ exactly the order the forked loops charged them.
 from __future__ import annotations
 
 from ..kernel.constants import POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT
+from ..sim.resources import PRIO_USER
 from .base import READING, WRITING, BaseServer
 
 
@@ -42,21 +43,32 @@ class ThttpdServer(BaseServer):
         """The fdwatch loop proper; phhttpd's poll sibling reuses it after
         an overflow handoff (section 6)."""
         sys = self.sys
-        costs = self.kernel.costs
-        sim = self.kernel.sim
+        kernel = self.kernel
+        costs = kernel.costs
+        sim = kernel.sim
         backend = self.backend
         next_sweep = sim.now + self.config.timer_interval
+        # uniprocessor fast path: the per-event dispatch charge and the
+        # backend's fdwatch re-check are adjacent pure charges, so they
+        # go out as one fused grant (each part its own FIFO slice)
+        fuse_dispatch = kernel.smp is None and not kernel.tracer.enabled
+        dispatch_part = ("app.dispatch", costs.app_event_dispatch, None)
 
         while self.running:
             self.stats.loops += 1
             ready = yield from backend.wait(deadline=next_sweep)
 
             for fd, revents in ready:
-                yield from sys.cpu_work(costs.app_event_dispatch,
-                                        "app.dispatch")
-                # e.g. fdwatch_check_fd(): poll/select re-search their
-                # whole rebuilt array per handled event
-                yield from backend.charge_dispatch()
+                if fuse_dispatch:
+                    yield kernel.cpu.consume_parts(
+                        (dispatch_part,) + backend.dispatch_parts(),
+                        PRIO_USER)
+                else:
+                    yield from sys.cpu_work(costs.app_event_dispatch,
+                                            "app.dispatch")
+                    # e.g. fdwatch_check_fd(): poll/select re-search
+                    # their whole rebuilt array per handled event
+                    yield from backend.charge_dispatch()
                 if self.kernel.causal.enabled:
                     self.kernel.causal.dispatch(sim.now, fd)
                 if fd == self.listen_fd:

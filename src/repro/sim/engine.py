@@ -11,12 +11,30 @@ stack, the web servers, the httperf client -- is built from these pieces.
 Time is a float in *seconds* of simulated time.  Ties are broken by a
 monotonically increasing sequence number so scheduling order is stable and
 runs are fully deterministic for a given seed.
+
+Hot-path layout (see docs/performance.md, "hot-path anatomy"):
+
+* The calendar heap stores ``(time, seq, timer)`` tuples, so sift
+  comparisons are C-level tuple comparisons and never call back into
+  Python (`Timer.__lt__` exists only for explicit comparisons).
+* Same-timestamp work (``call_soon``, event-trigger fan-out) goes to a
+  FIFO *ready queue* instead of the heap.  Because ``now`` never
+  decreases and ``seq`` always increases, the ready queue is sorted by
+  ``(time, seq)`` by construction; the drain loop merges it with the
+  heap so the global firing order is exactly the historical
+  ``(time, seq)`` order.
+* Timers whose handles never escape (event-callback dispatch, internal
+  unref schedules) are recycled through a freelist instead of being
+  allocated per event.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -26,15 +44,16 @@ class SimulationError(RuntimeError):
 class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
-    A cancelled timer stays in the heap (removal from a binary heap is
-    O(n)) but its callback is skipped when it pops.  The simulator
+    A cancelled timer stays in the calendar (removal from a binary heap
+    is O(n)) but its callback is skipped when it pops.  The simulator
     tracks how many armed entries have been cancelled this way and
     compacts the heap wholesale once dead entries dominate, so
     cancel-heavy workloads (idle-timeout sweeps re-arming per I/O) do
     not accumulate garbage until pop.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim",
+                 "ready", "pooled")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: Tuple,
                  sim: Optional["Simulator"] = None):
@@ -44,6 +63,12 @@ class Timer:
         self.args = args
         self.cancelled = False
         self.sim = sim
+        #: True while the timer sits in the ready queue (same-timestamp
+        #: FIFO) rather than the heap; cancel accounting differs.
+        self.ready = False
+        #: True for freelist-managed timers whose handle never escaped;
+        #: recycled after firing.
+        self.pooled = False
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
@@ -51,7 +76,7 @@ class Timer:
             return
         self.cancelled = True
         if self.sim is not None:
-            self.sim._note_cancel()
+            self.sim._note_cancel(self)
 
     def __lt__(self, other: "Timer") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -68,6 +93,10 @@ class Event:
     Waiters registered after the trigger fire immediately via the
     simulator's calendar (never synchronously re-entrant), preserving
     run-to-completion semantics for the code that triggered the event.
+
+    Callbacks are stored in an insertion-ordered dict so removal
+    (``AnyOf`` loser deregistration) is O(1); registering the *same*
+    callable twice coalesces to one delivery, which no caller relies on.
     """
 
     __slots__ = ("sim", "name", "triggered", "value", "_callbacks")
@@ -77,7 +106,9 @@ class Event:
         self.name = name
         self.triggered = False
         self.value: Any = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        # lazily allocated: most events (CPU grants) get exactly one
+        # callback or none, so the common case skips the dict entirely
+        self._callbacks: Optional[Dict[Callable[["Event"], None], None]] = None
 
     def trigger(self, value: Any = None) -> None:
         """Mark the event as having occurred and wake all waiters."""
@@ -85,9 +116,12 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self.triggered = True
         self.value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.sim.call_soon(cb, self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            sim = self.sim
+            for cb in callbacks:
+                sim._call_soon_unref(cb, (self,))
 
     # ``succeed`` reads better at some call sites (mirrors simpy).
     succeed = trigger
@@ -95,16 +129,17 @@ class Event:
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Register ``cb(event)``; fires now (via calendar) if already triggered."""
         if self.triggered:
-            self.sim.call_soon(cb, self)
+            self.sim._call_soon_unref(cb, (self,))
+        elif self._callbacks is None:
+            self._callbacks = {cb: None}
         else:
-            self._callbacks.append(cb)
+            self._callbacks[cb] = None
 
     def remove_callback(self, cb: Callable[["Event"], None]) -> None:
-        """Deregister a callback previously added; no-op if absent."""
-        try:
-            self._callbacks.remove(cb)
-        except ValueError:
-            pass
+        """Deregister a callback previously added; no-op if absent.  O(1)."""
+        callbacks = self._callbacks
+        if callbacks is not None:
+            callbacks.pop(cb, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = f"triggered({self.value!r})" if self.triggered else "pending"
@@ -128,7 +163,17 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Timer] = []
+        #: calendar heap of ``(time, seq, Timer)`` entries
+        self._heap: List[Tuple[float, int, Timer]] = []
+        #: FIFO of same-timestamp timers, sorted by (time, seq) by
+        #: construction (now is nondecreasing, seq is increasing)
+        self._ready: List[Timer] = []
+        #: index of the next unfired entry in ``_ready`` (the list is
+        #: drained front-to-back and cleared when empty)
+        self._ready_head: int = 0
+        #: freelist of fired unref timers, reused by the internal
+        #: ``_call_soon_unref`` / ``_schedule_unref`` fast paths
+        self._pool: List[Timer] = []
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
@@ -139,6 +184,8 @@ class Simulator:
         self.current_process: Optional[Any] = None
         #: cancelled timers still sitting in the heap (lazy deletion)
         self._cancelled_pending: int = 0
+        #: cancelled timers still sitting in the ready queue
+        self._ready_cancelled: int = 0
         #: times the calendar was rebuilt to shed cancelled entries
         self.compactions: int = 0
         #: cancelled entries discarded by compaction (not by popping)
@@ -161,12 +208,53 @@ class Simulator:
             )
         self._seq += 1
         timer = Timer(time, self._seq, fn, args, self)
-        heapq.heappush(self._heap, timer)
+        _heappush(self._heap, (time, self._seq, timer))
         return timer
 
     def call_soon(self, fn: Callable, *args: Any) -> Timer:
         """Run ``fn(*args)`` at the current time, after the running callback."""
-        return self.schedule_at(self.now, fn, *args)
+        self._seq += 1
+        timer = Timer(self.now, self._seq, fn, args, self)
+        timer.ready = True
+        self._ready.append(timer)
+        return timer
+
+    # -- internal unref variants: the Timer handle does not escape, so a
+    # freelist timer can be recycled the moment it fires.  Never exposed
+    # to user code (a recycled handle would alias a later schedule).
+    def _call_soon_unref(self, fn: Callable, args: Tuple) -> None:
+        """Internal ``call_soon`` whose timer is pooled (no handle escapes)."""
+        self._seq += 1
+        pool = self._pool
+        if pool:
+            timer = pool.pop()
+            timer.time = self.now
+            timer.seq = self._seq
+            timer.fn = fn
+            timer.args = args
+            timer.ready = True
+        else:
+            timer = Timer(self.now, self._seq, fn, args, None)
+            timer.ready = True
+            timer.pooled = True
+        self._ready.append(timer)
+
+    def _schedule_unref(self, delay: float, fn: Callable, args: Tuple) -> None:
+        """Internal ``schedule`` whose timer is pooled (no handle escapes)."""
+        time = self.now + delay
+        self._seq += 1
+        pool = self._pool
+        if pool:
+            timer = pool.pop()
+            timer.time = time
+            timer.seq = self._seq
+            timer.fn = fn
+            timer.args = args
+            timer.ready = False
+        else:
+            timer = Timer(time, self._seq, fn, args, None)
+            timer.pooled = True
+        _heappush(self._heap, (time, self._seq, timer))
 
     def event(self, name: str = "") -> Event:
         """Create a fresh one-shot :class:`Event` bound to this simulator."""
@@ -181,58 +269,281 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Pop and run the next timer.  Returns False when the heap is empty."""
-        while self._heap:
-            timer = heapq.heappop(self._heap)
-            if timer.cancelled:
-                self._cancelled_pending -= 1
-                continue
-            if timer.time < self.now:  # pragma: no cover - defensive
-                raise SimulationError("calendar went backwards")
+    def _pop_next(self) -> Optional[Timer]:
+        """Remove and return the next armed timer in (time, seq) order,
+        merging the ready queue with the heap; None when both are empty."""
+        ready = self._ready
+        heap = self._heap
+        head = self._ready_head
+        while True:
+            if head < len(ready):
+                first = ready[head]
+                if first.cancelled:
+                    head += 1
+                    self._ready_cancelled -= 1
+                    continue
+                if heap:
+                    entry = heap[0]
+                    timer = entry[2]
+                    if timer.cancelled:
+                        _heappop(heap)
+                        self._cancelled_pending -= 1
+                        continue
+                    if (entry[0] < first.time
+                            or (entry[0] == first.time
+                                and entry[1] < first.seq)):
+                        self._ready_head = head
+                        return _heappop(heap)[2]
+                head += 1
+                if head == len(ready):
+                    ready.clear()
+                    head = 0
+                self._ready_head = head
+                return first
+            if heap:
+                entry = heap[0]
+                timer = entry[2]
+                if timer.cancelled:
+                    _heappop(heap)
+                    self._cancelled_pending -= 1
+                    continue
+                _heappop(heap)
+                self._ready_head = head
+                return timer
+            if ready:
+                ready.clear()
+                head = 0
+            self._ready_head = head
+            return None
+
+    def _requeue(self, timer: Timer) -> None:
+        """Put back a timer popped past the run horizon."""
+        if timer.ready:
+            head = self._ready_head
+            if head > 0 and self._ready[head - 1] is timer:
+                # the entry is still physically at head-1 (the ready
+                # list drains by index); just un-consume it
+                self._ready_head = head - 1
+            else:
+                self._ready.insert(head, timer)
+        else:
+            _heappush(self._heap, (timer.time, timer.seq, timer))
+
+    def _fire(self, timer: Timer) -> None:
+        """Advance the clock to ``timer`` and run its callback."""
+        self.now = timer.time
+        self.events_processed += 1
+        fn = timer.fn
+        args = timer.args
+        if timer.pooled:
+            # recycle before the call so the callback's own unref
+            # schedules can reuse the hot object immediately
+            timer.fn = timer.args = None
+            self._pool.append(timer)
+        else:
             # detach so a cancel() after firing cannot skew the
-            # cancelled-pending count (the timer has left the heap)
+            # cancelled-pending count (the timer has left the calendar)
             timer.sim = None
-            self.now = timer.time
-            self.events_processed += 1
-            timer.fn(*timer.args)
-            return True
-        return False
+        fn(*args)
+
+    def step(self) -> bool:
+        """Pop and run the next timer.  Returns False when the calendar is empty."""
+        timer = self._pop_next()
+        if timer is None:
+            return False
+        if timer.time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("calendar went backwards")
+        self._fire(timer)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the calendar drains, ``until`` is reached, or
-        ``max_events`` timers have fired (whichever comes first)."""
+        ``max_events`` timers have fired (whichever comes first).
+
+        The loop body is :meth:`_pop_next` + :meth:`_fire` inlined --
+        this is the engine's innermost loop, and the two calls plus
+        repeated attribute loads are measurable at millions of events.
+        Heap and ready bindings are refreshed every iteration because a
+        callback can trigger :meth:`_compact` (which rebinds ``_heap``).
+        """
         self._running = True
         fired = 0
+        bounded = max_events is not None
+        pool = self._pool
+        heappop = _heappop
         try:
-            while self._heap:
-                next_time = self.peek()  # purges cancelled heads
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
+            if until is None and not bounded:
+                # -- dedicated full-drain loop: no horizon or event-budget
+                # check per iteration.  ``_ready`` is bound once (it is
+                # only ever cleared in place, never rebound); ``_heap``
+                # is re-read per iteration because a callback can
+                # trigger _compact, which rebinds it.
+                ready = self._ready
+                while True:
+                    heap = self._heap
+                    head = self._ready_head
+                    timer = None
+                    if head >= len(ready):
+                        if ready:
+                            ready.clear()
+                            self._ready_head = head = 0
+                        while heap:
+                            timer = heappop(heap)[2]
+                            if timer.cancelled:
+                                self._cancelled_pending -= 1
+                                timer = None
+                                continue
+                            break
+                        if timer is None:
+                            break
+                    else:
+                        # same-timestamp ready work pending: rare on this
+                        # loop's workloads, so take the out-of-line merge
+                        timer = self._pop_next()
+                        if timer is None:
+                            break
+                    fired += 1
+                    self.now = timer.time
+                    fn = timer.fn
+                    args = timer.args
+                    if timer.pooled:
+                        timer.fn = timer.args = None
+                        pool.append(timer)
+                    else:
+                        timer.sim = None
+                    fn(*args)
+                return
+            while True:
+                if bounded and fired >= max_events:
+                    return
+                # -- inline _pop_next: merge ready queue and heap
+                ready = self._ready
+                heap = self._heap
+                head = self._ready_head
+                timer = None
+                if head >= len(ready):
+                    # fast path: no same-timestamp ready work pending,
+                    # so pop straight off the heap (no peek-compare)
+                    if ready:
+                        ready.clear()
+                        self._ready_head = head = 0
+                    while heap:
+                        timer = heappop(heap)[2]
+                        if timer.cancelled:
+                            self._cancelled_pending -= 1
+                            timer = None
+                            continue
+                        break
+                    if timer is None:
+                        break
+                else:
+                    head0 = head
+                    while True:
+                        if head < len(ready):
+                            first = ready[head]
+                            if first.cancelled:
+                                head += 1
+                                self._ready_cancelled -= 1
+                                continue
+                            if heap:
+                                entry = heap[0]
+                                if entry[2].cancelled:
+                                    heappop(heap)
+                                    self._cancelled_pending -= 1
+                                    continue
+                                if (entry[0] < first.time
+                                        or (entry[0] == first.time
+                                            and entry[1] < first.seq)):
+                                    if head != head0:
+                                        self._ready_head = head
+                                    timer = heappop(heap)[2]
+                                    break
+                            head += 1
+                            if head == len(ready):
+                                ready.clear()
+                                head = 0
+                            self._ready_head = head
+                            timer = first
+                            break
+                        if heap:
+                            entry = heap[0]
+                            nxt = entry[2]
+                            if nxt.cancelled:
+                                heappop(heap)
+                                self._cancelled_pending -= 1
+                                continue
+                            heappop(heap)
+                            if head != head0:
+                                self._ready_head = head
+                            timer = nxt
+                            break
+                        if ready:
+                            ready.clear()
+                            head = 0
+                        if head != head0:
+                            self._ready_head = head
+                        break
+                    if timer is None:
+                        break
+                # -- inline _fire
+                time = timer.time
+                if until is not None and time > until:
+                    self._requeue(timer)
                     self.now = until
                     return
-                if max_events is not None and fired >= max_events:
-                    return
-                if self.step():
-                    fired += 1
+                fired += 1
+                self.now = time
+                fn = timer.fn
+                args = timer.args
+                if timer.pooled:
+                    # recycle before the call so the callback's own
+                    # unref schedules can reuse the hot object
+                    timer.fn = timer.args = None
+                    pool.append(timer)
+                else:
+                    timer.sim = None
+                fn(*args)
             if until is not None and until > self.now:
                 self.now = until
         finally:
+            # flushed as a delta so nested run() calls stay correct; no
+            # caller reads the counter mid-run
+            self.events_processed += fired
             self._running = False
 
     def peek(self) -> Optional[float]:
         """Time of the next armed timer, or None if the calendar is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            _heappop(heap)
             self._cancelled_pending -= 1
-        return self._heap[0].time if self._heap else None
+        ready = self._ready
+        head = self._ready_head
+        while head < len(ready) and ready[head].cancelled:
+            head += 1
+            self._ready_cancelled -= 1
+        if head == len(ready) and ready:
+            ready.clear()
+            head = 0
+        self._ready_head = head
+        heap_time = heap[0][0] if heap else None
+        ready_time = ready[head].time if head < len(ready) else None
+        if ready_time is None:
+            return heap_time
+        if heap_time is None or ready_time <= heap_time:
+            return ready_time
+        return heap_time
 
     # ------------------------------------------------------------------
     # lazy-deletion compaction
     # ------------------------------------------------------------------
-    def _note_cancel(self) -> None:
-        """Called by :meth:`Timer.cancel` for a timer still in the heap."""
+    def _note_cancel(self, timer: Timer) -> None:
+        """Called by :meth:`Timer.cancel` for a timer still in the calendar."""
+        if timer.ready:
+            # the ready queue fully drains every time the clock reaches
+            # its tail, so cancelled entries cannot pile up there
+            self._ready_cancelled += 1
+            return
         self._cancelled_pending += 1
         if (len(self._heap) >= self.COMPACT_MIN_HEAP
                 and self._cancelled_pending
@@ -242,7 +553,7 @@ class Simulator:
     def _compact(self) -> None:
         """Rebuild the heap without its cancelled entries (O(n))."""
         before = len(self._heap)
-        self._heap = [t for t in self._heap if not t.cancelled]
+        self._heap = [e for e in self._heap if not e[2].cancelled]
         heapq.heapify(self._heap)
         self.cancelled_purged += before - len(self._heap)
         self._cancelled_pending = 0
@@ -251,7 +562,9 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Armed (non-cancelled) timers still in the calendar."""
-        return len(self._heap) - self._cancelled_pending
+        return (len(self._heap) - self._cancelled_pending
+                + (len(self._ready) - self._ready_head)
+                - self._ready_cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"
+        return f"<Simulator now={self.now:.6f} pending={self.pending}>"

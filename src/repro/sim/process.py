@@ -50,7 +50,8 @@ class AnyOf:
 class Process:
     """A running simulated process wrapping a generator body."""
 
-    __slots__ = ("sim", "name", "gen", "done", "_waiting_on", "crashed")
+    __slots__ = ("sim", "name", "gen", "done", "_waiting_on", "crashed",
+                 "_resume_cb", "_on_event_cb")
 
     def __init__(self, sim: Simulator, gen: Generator, name: str = "proc"):
         self.sim = sim
@@ -60,54 +61,73 @@ class Process:
         self.done: Event = sim.event(f"{name}.done")
         self._waiting_on: Optional[List[Tuple[Event, Any]]] = None
         self.crashed: Optional[BaseException] = None
-        sim.call_soon(self._resume, None, None)
+        # bound methods are allocated per access; the resume path runs
+        # once per simulated step, so cache them
+        self._resume_cb = self._resume
+        self._on_event_cb = self._on_event
+        sim._call_soon_unref(self._resume_cb, (None, None))
 
     # ------------------------------------------------------------------
     def _resume(self, send_value: Any, exc: Optional[BaseException]) -> None:
         if self.done.triggered or self.crashed is not None:
             return
+        sim = self.sim
+        gen = self.gen
         # Publish which process is executing while its generator runs so
         # observers (span tracing) can keep per-process state.  Saved and
         # restored rather than reset to None: _resume can nest when a
         # yielded value resolves synchronously.
-        prev = self.sim.current_process
-        self.sim.current_process = self
+        prev = sim.current_process
+        sim.current_process = self
         try:
-            if exc is not None:
-                yielded = self.gen.throw(exc)
-            else:
-                yielded = self.gen.send(send_value)
-        except StopIteration as stop:
-            self.done.trigger(stop.value)
-            return
-        except BaseException as err:  # noqa: BLE001 - deliberate crash propagation
-            self.crashed = err
-            raise ProcessCrashed(
-                f"process {self.name!r} crashed at t={self.sim.now:.6f}: {err!r}"
-            ) from err
+            # Trampoline: yields that resolve at the current instant
+            # (already-triggered events, failed yields) loop here instead
+            # of bouncing through the calendar.
+            while True:
+                try:
+                    if exc is not None:
+                        yielded = gen.throw(exc)
+                        exc = None
+                    else:
+                        yielded = gen.send(send_value)
+                except StopIteration as stop:
+                    self.done.trigger(stop.value)
+                    return
+                except BaseException as err:  # noqa: BLE001 - deliberate crash propagation
+                    self.crashed = err
+                    raise ProcessCrashed(
+                        f"process {self.name!r} crashed at t={sim.now:.6f}: {err!r}"
+                    ) from err
+                if isinstance(yielded, Event):
+                    if yielded.triggered:
+                        # resume immediately with the value; no calendar
+                        # bounce for an event that has already fired
+                        send_value = yielded.value
+                        continue
+                    # open-coded Event.add_callback (hottest wait path)
+                    callbacks = yielded._callbacks
+                    if callbacks is None:
+                        yielded._callbacks = {self._on_event_cb: None}
+                    else:
+                        callbacks[self._on_event_cb] = None
+                    return
+                if isinstance(yielded, (int, float)):
+                    if yielded < 0:
+                        exc = SimulationError(
+                            f"process {self.name!r} slept {yielded}")
+                        send_value = None
+                        continue
+                    sim._schedule_unref(float(yielded), self._resume_cb,
+                                        (None, None))
+                    return
+                if isinstance(yielded, AnyOf):
+                    self._wait_any(yielded)
+                    return
+                exc = SimulationError(
+                    f"process {self.name!r} yielded unsupported {yielded!r}")
+                send_value = None
         finally:
-            self.sim.current_process = prev
-        self._handle_yield(yielded)
-
-    def _handle_yield(self, yielded: Any) -> None:
-        if isinstance(yielded, (int, float)):
-            if yielded < 0:
-                self._resume(
-                    None, SimulationError(f"process {self.name!r} slept {yielded}")
-                )
-                return
-            self.sim.schedule(float(yielded), self._resume, None, None)
-        elif isinstance(yielded, Event):
-            yielded.add_callback(self._on_event)
-        elif isinstance(yielded, AnyOf):
-            self._wait_any(yielded)
-        else:
-            self._resume(
-                None,
-                SimulationError(
-                    f"process {self.name!r} yielded unsupported {yielded!r}"
-                ),
-            )
+            sim.current_process = prev
 
     def _on_event(self, event: Event) -> None:
         self._resume(event.value, None)

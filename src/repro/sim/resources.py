@@ -20,7 +20,7 @@ kernel-mode execution either.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
 from .engine import Event, SimulationError, Simulator
 
@@ -49,10 +49,14 @@ class CPU:
         #: position within an SMP domain (0 for uniprocessor kernels);
         #: stamped by the domain so profiler charges carry their CPU
         self.index = 0
-        self._queues: Dict[int, Deque[Tuple[Event, float, str, Optional[
-            Tuple[Tuple[str, float], ...]]]]] = {
+        self._queues: Dict[int, Deque[Tuple[Event, float, Optional[str],
+                                            Any]]] = {
             p: deque() for p in _PRIORITIES
         }
+        # direct queue references for the dispatch hot path (the dict
+        # lookup per grant shows up at millions of events)
+        self._q_softirq = self._queues[PRIO_SOFTIRQ]
+        self._q_user = self._queues[PRIO_USER]
         self._busy = False
         self.busy_time = 0.0
         self.busy_by_category: Dict[str, float] = {}
@@ -60,35 +64,113 @@ class CPU:
         #: dispatched grant is attributed to a (subsystem, operation) pair
         self.profiler = None
         self._created_at = sim.now
+        #: grant-Event name, built once (consume() runs per syscall step)
+        self._grant_name = name + ".grant"
+        self._finish_cb = self._finish
+        self._part_cb = self._part_finish
 
     # ------------------------------------------------------------------
     def consume(self, duration: float, priority: int = PRIO_USER,
                 category: str = "other",
-                breakdown: Optional[Tuple[Tuple[str, float], ...]] = None
-                ) -> Event:
+                breakdown: Optional[Tuple[Tuple[str, float], ...]] = None,
+                nowait: bool = False) -> Optional[Event]:
         """Request ``duration`` seconds of CPU; returns the completion Event.
 
         ``breakdown`` optionally itemizes the charge for an attached
         profiler as (operation, seconds) parts summing to ``duration``;
         it does not affect scheduling or ``busy_by_category``.
+
+        ``nowait`` marks a fire-and-forget charge (softirq work): no
+        completion Event is allocated and None is returned; scheduling
+        and accounting are otherwise identical.
         """
         if duration < 0:
             raise SimulationError(f"negative CPU charge: {duration}")
-        if priority not in self._queues:
+        queues = self._queues
+        if priority not in queues:
             raise SimulationError(f"unknown CPU priority {priority}")
-        done = self.sim.event(f"{self.name}.grant")
+        sim = self.sim
+        done = None if nowait else Event(sim, self._grant_name)
+        speed = self.speed
         # Fast path: with no profiler attached the breakdown can never
         # be read, so drop it here instead of speed-scaling and carrying
         # it through the queue on every grant.
         if breakdown is not None:
             if self.profiler is None:
                 breakdown = None
-            elif self.speed != 1.0:
-                breakdown = tuple((op, s / self.speed) for op, s in breakdown)
-        self._queues[priority].append(
-            (done, duration / self.speed, category, breakdown))
-        if not self._busy:
-            self._dispatch()
+            elif speed != 1.0:
+                breakdown = tuple((op, s / speed) for op, s in breakdown)
+        if speed != 1.0:
+            duration = duration / speed
+        if self._busy:
+            queues[priority].append((done, duration, category, breakdown))
+        else:
+            # Idle fast path: the grant starts now, so skip the queue
+            # tuple and dispatch inline.  (Not busy implies both queues
+            # are empty -- _dispatch only clears _busy once they are.)
+            self._busy = True
+            self.busy_time += duration
+            by_cat = self.busy_by_category
+            by_cat[category] = by_cat.get(category, 0.0) + duration
+            if self.profiler is not None:
+                self.profiler.record(category, duration, breakdown,
+                                     cpu=self.index)
+            sim._schedule_unref(duration, self._finish_cb, (done,))
+        return done
+
+    def consume_parts(self, parts,
+                      priority: int = PRIO_USER,
+                      stamps: Optional[list] = None,
+                      nowait: bool = False) -> Optional[Event]:
+        """One externally-visible grant covering several sequential parts.
+
+        Fused-charge API: ``parts`` is a sequence of ``(category,
+        seconds, breakdown)`` tuples.  Scheduling and accounting are
+        *exactly* equivalent to issuing each part as its own
+        back-to-back ``consume()`` -- every part occupies its own FIFO
+        slice, so softirq work enqueued mid-part still interposes at
+        the same boundaries, and ``busy_by_category``/the profiler see
+        each part individually at its own start time.  What fusion
+        removes is the k-1 intermediate completion Events and process
+        suspend/resume round-trips: only the final part triggers the
+        returned Event.
+
+        ``stamps``, when given, receives ``sim.now`` once per part (in
+        order, including zero-length parts) as each completes, so a
+        caller can read boundary clocks -- poll()'s relative-timeout
+        arithmetic -- without waking at the boundary.
+
+        Zero-second parts are skipped exactly as the unfused call sites
+        skipped zero charges: no grant, no category key, no time.
+        """
+        queues = self._queues
+        if priority not in queues:
+            raise SimulationError(f"unknown CPU priority {priority}")
+        parts = list(parts)
+        for _category, seconds, _breakdown in parts:
+            if seconds < 0:
+                raise SimulationError(f"negative CPU charge: {seconds}")
+        sim = self.sim
+        done = None if nowait else Event(sim, self._grant_name)
+        # skip leading zero parts now (the unfused path would have
+        # skipped them synchronously at issue time)
+        idx = 0
+        nparts = len(parts)
+        while idx < nparts and parts[idx][1] == 0:
+            if stamps is not None:
+                stamps.append(sim.now)
+            idx += 1
+        if idx >= nparts:
+            if done is not None:
+                done.trigger(None)
+            return done
+        if self._busy:
+            # category=None marks a fused entry; the payload carries the
+            # remaining (unscaled) parts and the resume index
+            queues[priority].append((done, 0.0, None, (parts, idx, stamps)))
+        else:
+            self._busy = True
+            self._run_part(done, parts, idx, priority, stamps)
         return done
 
     def run(self, duration: float, priority: int = PRIO_USER,
@@ -97,25 +179,95 @@ class CPU:
         yield self.consume(duration, priority, category)
 
     # ------------------------------------------------------------------
-    def _dispatch(self) -> None:
-        for prio in _PRIORITIES:
-            queue = self._queues[prio]
-            if queue:
-                done, duration, category, breakdown = queue.popleft()
-                self._busy = True
-                self.busy_time += duration
-                self.busy_by_category[category] = (
-                    self.busy_by_category.get(category, 0.0) + duration
-                )
-                if self.profiler is not None:
-                    self.profiler.record(category, duration, breakdown,
-                                         cpu=self.index)
-                self.sim.schedule(duration, self._finish, done)
-                return
-        self._busy = False
+    def _run_part(self, done: Event, parts, idx: int, priority: int,
+                  stamps: Optional[list]) -> None:
+        """Start the (non-zero) part at ``idx`` of a fused grant.
 
-    def _finish(self, done: Event) -> None:
-        done.trigger(None)
+        Accounting happens here, at part start, exactly as ``consume``
+        accounts at grant start.  The invariant maintained by
+        ``consume_parts``/``_part_finish`` is that ``parts[idx]`` is
+        never zero-length when this runs.
+        """
+        category, seconds, breakdown = parts[idx]
+        speed = self.speed
+        if speed != 1.0:
+            seconds = seconds / speed
+        if breakdown is not None:
+            if self.profiler is None:
+                breakdown = None
+            elif speed != 1.0:
+                breakdown = tuple((op, s / speed) for op, s in breakdown)
+        self.busy_time += seconds
+        by_cat = self.busy_by_category
+        by_cat[category] = by_cat.get(category, 0.0) + seconds
+        if self.profiler is not None:
+            self.profiler.record(category, seconds, breakdown,
+                                 cpu=self.index)
+        self.sim._schedule_unref(seconds, self._part_cb,
+                                 (done, parts, idx, priority, stamps))
+
+    def _part_finish(self, done: Event, parts, idx: int, priority: int,
+                     stamps: Optional[list]) -> None:
+        """A fused grant's part completed; continue or finish the grant.
+
+        Zero-length follow-up parts are skipped here, at the boundary
+        instant, matching the unfused caller that would have skipped
+        them synchronously on resume -- before any softirq work queued
+        behind this grant gets the CPU.
+        """
+        sim = self.sim
+        if stamps is not None:
+            stamps.append(sim.now)
+        idx += 1
+        nparts = len(parts)
+        while idx < nparts and parts[idx][1] == 0:
+            if stamps is not None:
+                stamps.append(sim.now)
+            idx += 1
+        if idx >= nparts:
+            if done is not None:
+                done.trigger(None)
+            self._dispatch()
+            return
+        # Re-enter the FIFO exactly where a back-to-back consume() from
+        # the resumed process would have landed, so softirq enqueued
+        # during this part still interposes at the same boundary.  Fast
+        # path: if nothing at this or higher priority is queued, the
+        # dispatch would pop this continuation right back -- skip the
+        # queue bounce and start the next part directly.
+        if not self._q_softirq and (priority == PRIO_SOFTIRQ
+                                    or not self._q_user):
+            self._run_part(done, parts, idx, priority, stamps)
+            return
+        self._queues[priority].append((done, 0.0, None, (parts, idx, stamps)))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        queue = self._q_softirq
+        prio = PRIO_SOFTIRQ
+        if not queue:
+            queue = self._q_user
+            prio = PRIO_USER
+            if not queue:
+                self._busy = False
+                return
+        done, duration, category, payload = queue.popleft()
+        self._busy = True
+        if category is None:
+            parts, idx, stamps = payload
+            self._run_part(done, parts, idx, prio, stamps)
+            return
+        self.busy_time += duration
+        by_cat = self.busy_by_category
+        by_cat[category] = by_cat.get(category, 0.0) + duration
+        if self.profiler is not None:
+            self.profiler.record(category, duration, payload,
+                                 cpu=self.index)
+        self.sim._schedule_unref(duration, self._finish_cb, (done,))
+
+    def _finish(self, done: Optional[Event]) -> None:
+        if done is not None:
+            done.trigger(None)
         self._dispatch()
 
     # ------------------------------------------------------------------

@@ -133,20 +133,48 @@ class MultiCPU:
     # ------------------------------------------------------------------
     def consume(self, duration: float, priority: int = PRIO_USER,
                 category: str = "other",
-                breakdown: Optional[Tuple[Tuple[str, float], ...]] = None):
+                breakdown: Optional[Tuple[Tuple[str, float], ...]] = None,
+                nowait: bool = False):
         d = self.domain
         if priority == PRIO_SOFTIRQ:
-            return d.cpus[0].consume(duration, priority, category, breakdown)
+            return d.cpus[0].consume(duration, priority, category, breakdown,
+                                     nowait=nowait)
         proc = d.kernel.sim.current_process
         if proc is None:
-            return d.cpus[0].consume(duration, priority, category, breakdown)
+            return d.cpus[0].consume(duration, priority, category, breakdown,
+                                     nowait=nowait)
         idx, migrated = d.scheduler.route(proc)
         cpu = d.cpus[idx]
         if migrated:
             cost = d.kernel.costs.smp_migration_cost
             if cost > 0:
                 cpu.consume(cost, priority, "smp.migration")
-        return cpu.consume(duration, priority, category, breakdown)
+        return cpu.consume(duration, priority, category, breakdown,
+                           nowait=nowait)
+
+    def consume_parts(self, parts, priority: int = PRIO_USER,
+                      stamps: Optional[list] = None, nowait: bool = False):
+        """Fused-charge mirror of :meth:`CPU.consume_parts`.
+
+        All parts of one fused grant land on the same member CPU,
+        routed exactly as :meth:`consume` routes a single grant.
+        """
+        d = self.domain
+        if priority == PRIO_SOFTIRQ:
+            return d.cpus[0].consume_parts(parts, priority, stamps=stamps,
+                                           nowait=nowait)
+        proc = d.kernel.sim.current_process
+        if proc is None:
+            return d.cpus[0].consume_parts(parts, priority, stamps=stamps,
+                                           nowait=nowait)
+        idx, migrated = d.scheduler.route(proc)
+        cpu = d.cpus[idx]
+        if migrated:
+            cost = d.kernel.costs.smp_migration_cost
+            if cost > 0:
+                cpu.consume(cost, priority, "smp.migration")
+        return cpu.consume_parts(parts, priority, stamps=stamps,
+                                 nowait=nowait)
 
     def run(self, duration: float, priority: int = PRIO_USER,
             category: str = "other"):

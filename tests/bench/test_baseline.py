@@ -1,0 +1,49 @@
+"""The fused fast path must reproduce the checked-in smoke baseline.
+
+The fast-path work in the engine and CPU (ready-queue scheduling, fused
+``consume_parts`` charges, nowait softirq grants) is only admissible
+because it leaves every *simulated* measurement untouched.  This test
+re-runs the ``smoke`` suite in-process and compares each point record
+byte-for-byte against ``benchmarks/baselines/BENCH_smoke.json``, minus
+the host-dependent wall-clock fields and the engine-internal
+``sim_events`` counter (fusion legitimately changes how many engine
+events a run takes; it must never change what the run measures).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.records import WALL_CLOCK_FIELDS
+from repro.bench.suites import SUITES, run_suite, suite_fingerprint
+
+BASELINE = (pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks" / "baselines" / "BENCH_smoke.json")
+
+#: per-point keys that measure the host or the engine's internal event
+#: economy rather than the simulation (see docs/performance.md)
+NON_SIMULATED_KEYS = set(WALL_CLOCK_FIELDS) | {"sim_events"}
+
+
+def _strip(record):
+    return {k: v for k, v in record.items() if k not in NON_SIMULATED_KEYS}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE.read_text())
+
+
+def test_fingerprint_matches_baseline_artifact(baseline):
+    assert suite_fingerprint(SUITES["smoke"]) == baseline["fingerprint"]
+
+
+def test_smoke_records_are_byte_identical_to_baseline(baseline):
+    artifact = run_suite("smoke", selfperf=False)
+    assert len(artifact["points"]) == len(baseline["points"])
+    for new, old in zip(artifact["points"], baseline["points"]):
+        # compare through a JSON round-trip so float formatting matches
+        # what the artifact on disk went through
+        new = json.loads(json.dumps(_strip(new)))
+        assert new == _strip(old), f"point {old.get('label')} diverged"

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.bench.selfperf import (
     run_engine_churn,
     run_point_workload,
@@ -67,3 +69,78 @@ def test_suite_artifact_embeds_selfperf():
     assert entry["sim_events"] > 0
     assert entry["sim_wall_seconds"] > 0
     assert entry["events_per_second"] > 0
+
+
+def test_run_selfperf_best_of_repeat():
+    block = run_selfperf(include_point=False, repeat=3)
+    assert block["engine_churn"]["best_of"] == 3
+    # deterministic fields are unaffected by repetition
+    assert block["engine_churn"]["events_processed"] == 8000
+
+
+def test_churn_setup_is_reported_but_not_timed():
+    result = run_engine_churn(n_timers=4000)
+    assert result.detail["setup_seconds"] >= 0
+    # the timed region is the drain alone; events/s must be derived
+    # from sim_wall_seconds, not setup + drain
+    assert result.events_per_second == pytest.approx(
+        result.events_processed / result.sim_wall_seconds, rel=1e-6)
+
+
+def test_calibration_returns_positive_score():
+    from repro.bench.selfperf import run_calibration
+
+    assert run_calibration(loops=50000) > 0
+
+
+def test_run_selfperf_calibrate_adds_block():
+    block = run_selfperf(include_point=False, calibrate=True)
+    assert block["calibration"]["loops_per_second"] > 0
+    assert block["calibration"]["loops"] > 0
+
+
+def test_check_floor_passes_and_fails():
+    from repro.bench.selfperf import check_floor
+
+    block = {
+        "engine_churn": {"events_per_second": 1_000_000.0},
+        "point": {"events_per_second": 200_000.0},
+        "calibration": {"loops_per_second": 30_000_000.0},
+    }
+    floor = {
+        "calibration_loops_per_second": 30_000_000.0,
+        "margin": 0.5,
+        "floors": {"engine_churn": 1_000_000.0, "point": 200_000.0},
+    }
+    ok, lines = check_floor(block, floor)
+    assert ok
+    assert any("engine_churn" in line for line in lines)
+
+    # a measurement below floor * margin fails
+    slow = dict(block, engine_churn={"events_per_second": 400_000.0})
+    ok, lines = check_floor(slow, floor)
+    assert not ok
+    assert any("BELOW FLOOR" in line for line in lines)
+
+
+def test_check_floor_scales_with_calibration():
+    from repro.bench.selfperf import check_floor
+
+    # host is 2x slower than the floor-setter: the scaled floor halves,
+    # so the same measured number still passes
+    block = {
+        "engine_churn": {"events_per_second": 300_000.0},
+        "calibration": {"loops_per_second": 15_000_000.0},
+    }
+    floor = {
+        "calibration_loops_per_second": 30_000_000.0,
+        "margin": 1.0,
+        "floors": {"engine_churn": 500_000.0},
+    }
+    ok, _ = check_floor(block, floor)
+    assert ok   # 300k >= 500k * 0.5 * 1.0
+
+    # missing workload fails
+    ok, lines = check_floor({"calibration": block["calibration"]}, floor)
+    assert not ok
+    assert any("MISSING" in line for line in lines)

@@ -280,3 +280,120 @@ def test_callbacks_never_reenter_trigger_context():
     assert ran == []  # not yet -- run-to-completion semantics
     sim.run()
     assert ran == [True]
+
+
+# ---------------------------------------------------------------------------
+# ready-queue / heap merge ordering
+# ---------------------------------------------------------------------------
+
+def test_ready_queue_merges_with_heap_in_time_seq_order():
+    """call_soon entries and schedule_at(now) heap entries interleave in
+    global (time, seq) order, exactly as a single-calendar engine would
+    fire them."""
+    sim = Simulator()
+    order = []
+
+    def burst():
+        # alternate ready-queue and heap entries at the same timestamp;
+        # seq assignment order must decide the firing order
+        sim.call_soon(order.append, "soon-1")
+        sim.schedule_at(sim.now, order.append, "heap-1")
+        sim.call_soon(order.append, "soon-2")
+        sim.schedule_at(sim.now, order.append, "heap-2")
+        sim.schedule(1.0, order.append, "later")
+
+    sim.schedule(1.0, burst)
+    sim.run()
+    assert order == ["soon-1", "heap-1", "soon-2", "heap-2", "later"]
+
+
+def test_ready_queue_drain_matches_reference_order():
+    """Randomized interleavings of call_soon / schedule_at(now) /
+    schedule(later) fire in exactly the (time, seq) issue order a pure
+    heap would produce."""
+    import random
+
+    rng = random.Random(99)
+    sim = Simulator()
+    fired = []
+    expected = []
+    counter = [0]
+
+    def make(tag):
+        def cb():
+            fired.append(tag)
+        return cb
+
+    def emit():
+        for _ in range(rng.randint(1, 4)):
+            tag = counter[0]
+            counter[0] += 1
+            kind = rng.random()
+            if kind < 0.4:
+                sim.call_soon(make(("now", tag)))
+                expected.append((sim.now, ("now", tag)))
+            elif kind < 0.7:
+                sim.schedule_at(sim.now, make(("now", tag)))
+                expected.append((sim.now, ("now", tag)))
+            else:
+                delay = rng.choice((0.5, 1.0, 1.5))
+                sim.schedule(delay, make(("later", tag)))
+                expected.append((sim.now + delay, ("later", tag)))
+
+    for t in (0.0, 0.5, 1.0, 2.0):
+        sim.schedule_at(t, emit)
+    sim.run()
+    # stable sort by time reproduces (time, seq) order: same-time
+    # entries keep their issue order
+    expected.sort(key=lambda item: item[0])
+    assert fired == [tag for _t, tag in expected]
+
+
+def test_ready_queue_cancel_skips_without_firing():
+    sim = Simulator()
+    order = []
+
+    def burst():
+        keep = sim.call_soon(order.append, "keep")
+        drop = sim.call_soon(order.append, "drop")
+        sim.call_soon(order.append, "tail")
+        drop.cancel()
+        assert keep is not drop
+
+    sim.schedule(1.0, burst)
+    sim.run()
+    assert order == ["keep", "tail"]
+    assert sim.events_processed == 3  # burst + keep + tail
+
+
+def test_run_until_preserves_ready_work_for_next_run():
+    """A horizon stop mid-burst must not lose or reorder ready entries."""
+    sim = Simulator()
+    order = []
+
+    def burst():
+        sim.call_soon(order.append, "a")
+        sim.call_soon(order.append, "b")
+        sim.schedule(1.0, order.append, "later")
+
+    sim.schedule(1.0, burst)
+    sim.run(until=1.0)
+    sim.run()
+    assert order == ["a", "b", "later"]
+
+
+def test_events_processed_flushes_after_nested_run():
+    """run() flushes its fired-count delta even when a callback runs a
+    nested drain of its own."""
+    sim = Simulator()
+
+    def outer():
+        inner = Simulator()
+        inner.schedule(0.5, lambda: None)
+        inner.run()
+        assert inner.events_processed == 1
+
+    sim.schedule(1.0, outer)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 2

@@ -180,3 +180,118 @@ def test_channel_multiple_getters_fifo():
     sim.schedule(2.0, chan.put, 2)
     sim.run()
     assert got == [("a", 1), ("b", 2)]
+
+
+# ---------------------------------------------------------------------------
+# fused charges: consume_parts
+# ---------------------------------------------------------------------------
+
+def test_consume_parts_matches_back_to_back_consumes():
+    """A fused grant finishes at the same instant, with the same
+    per-category accounting, as issuing each part separately."""
+    parts = (("parse", 0.3, None), ("cache", 0.1, None), ("build", 0.2, None))
+
+    sim_a, sim_b = Simulator(), Simulator()
+    cpu_a, cpu_b = CPU(sim_a), CPU(sim_b)
+
+    done_a = []
+    cpu_a.consume_parts(parts).add_callback(lambda e: done_a.append(sim_a.now))
+    sim_a.run()
+
+    done_b = []
+    def unfused():
+        for category, seconds, _bd in parts:
+            yield cpu_b.consume(seconds, PRIO_USER, category)
+        done_b.append(sim_b.now)
+    spawn(sim_b, unfused())
+    sim_b.run()
+
+    assert done_a == done_b == [pytest.approx(0.6)]
+    assert cpu_a.busy_by_category == cpu_b.busy_by_category
+    assert cpu_a.busy_time == pytest.approx(cpu_b.busy_time)
+
+
+def test_consume_parts_softirq_interposes_at_part_boundary():
+    """Softirq work arriving mid-part still runs at the next part
+    boundary, exactly where the unfused back-to-back consumes would
+    have let it in."""
+    order = []
+    sim = Simulator()
+    cpu = CPU(sim)
+    cpu.consume_parts((("p1", 1.0, None), ("p2", 1.0, None))).add_callback(
+        lambda e: order.append(("fused-done", sim.now)))
+    sim.schedule(0.5, lambda: cpu.consume(
+        0.25, PRIO_SOFTIRQ, "irq").add_callback(
+            lambda e: order.append(("irq-done", sim.now))))
+    sim.run()
+    # irq lands at the p1/p2 boundary (t=1.0), pushing p2 to 1.25-2.25
+    assert order == [("irq-done", 1.25), ("fused-done", 2.25)]
+    assert cpu.busy_by_category["irq"] == pytest.approx(0.25)
+    assert cpu.busy_by_category["p2"] == pytest.approx(1.0)
+
+
+def test_consume_parts_continuation_fast_path_is_equivalent():
+    """With nothing else queued, the part boundary short-circuits the
+    FIFO bounce; a queued same-priority grant must still disable the
+    short cut and run in FIFO order."""
+    sim = Simulator()
+    cpu = CPU(sim)
+    order = []
+    cpu.consume_parts((("a1", 1.0, None), ("a2", 1.0, None))).add_callback(
+        lambda e: order.append(("a", sim.now)))
+    cpu.consume(1.0, PRIO_USER, "b").add_callback(
+        lambda e: order.append(("b", sim.now)))
+    sim.run()
+    # the queued grant interposes between a1 and a2, as the unfused
+    # back-to-back consumes would have allowed
+    assert order == [("b", 2.0), ("a", 3.0)]
+
+
+def test_consume_parts_skips_zero_length_parts():
+    sim = Simulator()
+    cpu = CPU(sim)
+    stamps = []
+    done = []
+    cpu.consume_parts(
+        (("z0", 0.0, None), ("work", 1.0, None), ("z1", 0.0, None)),
+        stamps=stamps).add_callback(lambda e: done.append(sim.now))
+    sim.run()
+    assert done == [1.0]
+    assert stamps == [0.0, 1.0, 1.0]   # one stamp per part, in order
+    assert "z0" not in cpu.busy_by_category
+    assert "z1" not in cpu.busy_by_category
+
+
+def test_consume_parts_all_zero_triggers_immediately():
+    sim = Simulator()
+    cpu = CPU(sim)
+    ev = cpu.consume_parts((("z", 0.0, None),))
+    assert ev.triggered
+    assert cpu.busy_time == 0.0
+    assert not cpu.busy
+
+
+def test_consume_parts_nowait_returns_none_but_accounts():
+    sim = Simulator()
+    cpu = CPU(sim)
+    assert cpu.consume_parts(
+        (("rx", 0.5, None), ("ack", 0.25, None)),
+        PRIO_SOFTIRQ, nowait=True) is None
+    sim.run()
+    assert cpu.busy_by_category["rx"] == pytest.approx(0.5)
+    assert cpu.busy_by_category["ack"] == pytest.approx(0.25)
+    assert sim.now == pytest.approx(0.75)
+
+
+def test_consume_nowait_returns_none_but_accounts():
+    sim = Simulator()
+    cpu = CPU(sim)
+    assert cpu.consume(0.5, PRIO_SOFTIRQ, "irq", nowait=True) is None
+    sim.run()
+    assert cpu.busy_by_category["irq"] == pytest.approx(0.5)
+
+
+def test_consume_parts_rejects_negative_part():
+    cpu = CPU(Simulator())
+    with pytest.raises(SimulationError):
+        cpu.consume_parts((("ok", 1.0, None), ("bad", -0.1, None)))

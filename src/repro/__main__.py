@@ -77,6 +77,18 @@ def _check_backend(name) -> bool:
     return False
 
 
+def _check_sim_backend(name) -> bool:
+    """Like _check_backend, but for commands that only run simulated."""
+    if not _check_backend(name):
+        return False
+    if name is not None and name.startswith("live-"):
+        print(f"repro: backend {name!r} runs on real sockets; this "
+              f"command is simulation-only (use `repro point --runtime "
+              f"live` or `repro calibrate`)", file=sys.stderr)
+        return False
+    return True
+
+
 def cmd_info(_args) -> int:
     """Print package, server, figure, and suite inventory."""
     import repro
@@ -107,28 +119,72 @@ def cmd_point(args) -> int:
 
     if not _check_server(args.server) or not _check_backend(args.backend):
         return 2
+    runtime = getattr(args, "runtime", "sim")
+    live_backend = (args.backend is not None
+                    and args.backend.startswith("live-"))
+    if runtime == "live":
+        if args.trace is not None or args.profile_out is not None:
+            print("repro: --trace/--profile-out are simulation-only "
+                  "(the live runtime has no span exporter or profiler)",
+                  file=sys.stderr)
+            return 2
+        if args.cpus != 1 or args.workers != 1:
+            print("repro: --cpus/--workers are simulation-only axes",
+                  file=sys.stderr)
+            return 2
+        if args.backend is not None and not live_backend:
+            print(f"repro: backend {args.backend!r} is simulated; "
+                  f"--runtime live takes live-epoll or live-select",
+                  file=sys.stderr)
+            return 2
+    elif live_backend:
+        print(f"repro: backend {args.backend!r} needs --runtime live",
+              file=sys.stderr)
+        return 2
     result = run_point(BenchmarkPoint(
-        server=args.server, backend=args.backend, rate=args.rate,
+        server=args.server, backend=args.backend, runtime=runtime,
+        rate=args.rate,
         inactive=args.inactive, duration=args.duration, seed=args.seed,
         cpus=args.cpus, workers=args.workers, dispatch=args.dispatch,
         trace=args.trace is not None, profile=args.profile_out is not None))
     rr = result.reply_rate
     shown = (f"{args.server} [{args.backend}]" if args.backend
              else args.server)
+    if runtime == "live":
+        shown += " (live)"
     smp = (f", {args.cpus} cpus x {args.workers} workers"
            if args.cpus != 1 or args.workers != 1 else "")
     print(f"{shown} @ {args.rate:.0f}/s, {args.inactive} inactive, "
           f"{args.duration:.0f}s{smp}:")
     print(f"  replies/s avg {rr.avg:.1f}  min {rr.min:.1f}  max {rr.max:.1f}"
           f"  stddev {rr.stddev:.1f}")
+    median = (f"{result.median_conn_ms:.2f} ms"
+              if result.median_conn_ms is not None else "-")
     print(f"  errors {result.error_percent:.2f}%   "
-          f"median {result.median_conn_ms:.2f} ms   "
+          f"median {median}   "
           f"cpu {100 * result.cpu_utilization:.0f}%")
     pct = result.httperf.latency_percentiles_ms()
     if pct is not None:
         print(f"  latency ms p50 {pct['p50']:.2f}  p90 {pct['p90']:.2f}  "
               f"p99 {pct['p99']:.2f}  p99.9 {pct['p99.9']:.2f}")
     status = 0
+    if runtime == "live":
+        rt = result.runtime
+        port = rt.listen_address[1] if rt.listen_address else "?"
+        calls = sum(rt.syscall_counts.values())
+        wall_us = sum(rt.syscall_wall.values()) * 1e6
+        modeled_us = rt.kernel.cpu.busy_time * 1e6
+        print(f"  live: port {port}, {calls} real syscalls, "
+              f"{wall_us:.0f} us measured wall vs "
+              f"{modeled_us:.0f} us modeled cpu")
+    if getattr(args, "record_out", None) is not None:
+        from repro.bench.records import RECORD_VERSION, point_record
+
+        record = {"record_version": RECORD_VERSION, **point_record(result)}
+        if _write_json(args.record_out, record):
+            print(f"  record -> {args.record_out}")
+        else:
+            status = 1
     if args.trace is not None:
         try:
             result.testbed.tracer.export_jsonl(args.trace)
@@ -153,7 +209,7 @@ def cmd_profile(args) -> int:
     from repro.bench import BenchmarkPoint, run_point
     from repro.bench.reporting import attribution_table
 
-    if not _check_server(args.server) or not _check_backend(args.backend):
+    if not _check_server(args.server) or not _check_sim_backend(args.backend):
         return 2
     server_opts = {}
     if args.no_hints:
@@ -192,7 +248,7 @@ def cmd_flame(args) -> int:
     from repro.bench import BenchmarkPoint, run_point
     from repro.obs.flame import ascii_flame, folded_stacks, write_folded
 
-    if not _check_server(args.server) or not _check_backend(args.backend):
+    if not _check_server(args.server) or not _check_sim_backend(args.backend):
         return 2
     result = run_point(BenchmarkPoint(
         server=args.server, backend=args.backend, rate=args.rate,
@@ -234,7 +290,7 @@ def cmd_bench(args) -> int:
         print(f"repro: unknown suite {args.suite!r}; choose from "
               f"{', '.join(sorted(SUITES))}", file=sys.stderr)
         return 2
-    if not _check_backend(args.backend):
+    if not _check_sim_backend(args.backend):
         return 2
     if args.out is not None:
         out = args.out
@@ -311,7 +367,7 @@ def cmd_trace(args) -> int:
     from repro.bench import BenchmarkPoint, run_point
     from repro.obs.causal import export_chrome_trace
 
-    if not _check_server(args.server) or not _check_backend(args.backend):
+    if not _check_server(args.server) or not _check_sim_backend(args.backend):
         return 2
     result = run_point(BenchmarkPoint(
         server=args.server, backend=args.backend, rate=args.rate,
@@ -371,6 +427,65 @@ def cmd_diff(args) -> int:
     return 2 if text.startswith("cannot diff") else 0
 
 
+def cmd_calibrate(args) -> int:
+    """Fit simulated cost terms against the real kernel (live runtime)."""
+    from repro.bench.calibrate import (
+        default_calibration_path,
+        dump_calibration,
+        run_calibration,
+    )
+
+    try:
+        rates = tuple(float(r) for r in args.rates.split(","))
+        inactive = tuple(int(i) for i in args.inactive.split(","))
+    except ValueError as err:
+        print(f"repro: bad grid value: {err}", file=sys.stderr)
+        return 2
+    grid_size = len(rates) * len(inactive)
+    if grid_size < 4:
+        print(f"repro: calibration needs >= 4 grid points to fit 4 cost "
+              f"terms, got {grid_size} (rates x inactive)", file=sys.stderr)
+        return 2
+
+    def progress(block) -> None:
+        print(f"  rate {block['rate']:g} inactive {block['inactive']}: "
+              f"{block['replies_ok']} replies, "
+              f"{block['measured_wall_us']:.0f} us measured syscall wall")
+
+    print(f"calibrating against the live kernel "
+          f"({len(rates)} rates x {len(inactive)} inactive loads, "
+          f"{args.duration:g}s each)")
+    try:
+        artifact = run_calibration(
+            rates=rates, inactive=inactive, duration=args.duration,
+            backend=args.backend, on_point=progress)
+    except (ValueError, OSError) as err:
+        print(f"repro: calibration failed: {err}", file=sys.stderr)
+        return 1
+    print(f"backend {artifact['backend']}, residual "
+          f"{artifact['relative_abs_residual'] * 100:.2f}% of measured wall")
+    print(f"  {'term':<24} {'fitted us':>10} {'sim us':>10} {'ratio':>8}")
+    for name, fitted in artifact["fitted_terms_us"].items():
+        sim_value = artifact["sim_terms_us"][name]
+        ratio = artifact["fit_over_sim_ratio"][name]
+        ratio_text = f"{ratio:.3f}" if ratio is not None else "-"
+        print(f"  {name:<24} {fitted:>10.3f} {sim_value:>10.3f} "
+              f"{ratio_text:>8}")
+    clamped = artifact.get("clamped_terms") or []
+    if clamped:
+        print(f"  ({', '.join(clamped)} clamped to zero: not separable "
+              f"from the other columns on this workload -- see "
+              f"measured_us_per_call)")
+    out = args.out or default_calibration_path(artifact["backend"])
+    try:
+        dump_calibration(artifact, out)
+    except OSError as err:
+        print(f"repro: cannot write {out}: {err}", file=sys.stderr)
+        return 1
+    print(f"calibration -> {out}")
+    return 0
+
+
 def cmd_selfperf(args) -> int:
     """Measure harness speed: simulator events per host second."""
     from repro.bench.selfperf import check_floor, run_selfperf
@@ -425,7 +540,7 @@ def cmd_capacity(args) -> int:
               file=sys.stderr)
         return 2
     for backend in backends:
-        if not _check_backend(backend):
+        if not _check_sim_backend(backend):
             return 2
     try:
         inactive = [int(x) for x in args.inactive.split(",") if x.strip()]
@@ -490,7 +605,7 @@ def cmd_figures(args) -> int:
     from repro.bench.figures import ALL_FIGURES
     from repro.bench.harness import BenchmarkPoint
 
-    if not _check_backend(args.backend):
+    if not _check_sim_backend(args.backend):
         return 2
     wanted = args.ids or sorted(ALL_FIGURES)
     base_point = None
@@ -544,7 +659,15 @@ def main(argv=None) -> int:
     p_point.add_argument("--seed", type=int, default=0)
     p_point.add_argument("--backend", metavar="NAME",
                          help="pin an event backend (select, poll, "
-                              "devpoll, rtsig, epoll); overrides SERVER")
+                              "devpoll, rtsig, epoll; live-epoll/"
+                              "live-select with --runtime live); "
+                              "overrides SERVER")
+    p_point.add_argument("--runtime", choices=("sim", "live"),
+                         default="sim",
+                         help="execution substrate: the simulated kernel "
+                              "(default) or real localhost sockets")
+    p_point.add_argument("--record-out", metavar="FILE",
+                         help="write the versioned point record as JSON")
     p_point.add_argument("--cpus", type=int, default=1, metavar="N",
                          help="simulated server CPUs (default 1)")
     p_point.add_argument("--workers", type=int, default=1, metavar="N",
@@ -651,6 +774,25 @@ def main(argv=None) -> int:
                         help="max profiler/pathology rows per entry "
                              "(default 8)")
 
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="fit simulated cost terms against the real kernel "
+             "(runs a live-runtime grid)")
+    p_cal.add_argument("--rates", default="50,150,300", metavar="R1,R2,..",
+                       help="comma-separated request rates for the grid "
+                            "(default 50,150,300)")
+    p_cal.add_argument("--inactive", default="0,32,128", metavar="N1,N2,..",
+                       help="comma-separated inactive-connection loads "
+                            "(default 0,32,128)")
+    p_cal.add_argument("--duration", type=float, default=1.0,
+                       help="seconds per grid point (default 1.0)")
+    p_cal.add_argument("--backend", metavar="NAME",
+                       help="live backend (live-epoll or live-select; "
+                            "default: live-epoll where available)")
+    p_cal.add_argument("--out", metavar="FILE",
+                       help="artifact path "
+                            "(default CALIBRATION_<backend>.json)")
+
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("ids", nargs="*")
     p_fig.add_argument("--rates", type=float, nargs="+",
@@ -749,6 +891,8 @@ def main(argv=None) -> int:
         return cmd_trace(args)
     if args.command == "diff":
         return cmd_diff(args)
+    if args.command == "calibrate":
+        return cmd_calibrate(args)
     if args.command == "figures":
         return cmd_figures(args)
     if args.command == "capacity":

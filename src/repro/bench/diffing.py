@@ -25,12 +25,21 @@ from typing import Any, Dict, List, Optional, Tuple
 
 
 def artifact_kind(artifact: Dict[str, Any]) -> str:
-    """'capacity' | 'bench' | 'unknown' by shape, not filename."""
+    """'capacity' | 'calibration' | 'bench' | 'unknown' by shape,
+    not filename."""
     if "cells" in artifact:
         return "capacity"
+    if "fitted_terms_us" in artifact:
+        return "calibration"
     if "points" in artifact:
         return "bench"
     return "unknown"
+
+
+#: top-level keys that measure the host or the moment, not the
+#: experiment -- excluded from the generic fallback diff
+_HOST_KEYS = frozenset({"created_unix", "wall_clock_s", "jobs",
+                        "selfperf", "host"})
 
 
 # ---------------------------------------------------------------------------
@@ -204,6 +213,66 @@ def _pathology_lines(old: Optional[Dict[str, Any]],
     return [f"{indent}pathology deltas:"] + body
 
 
+def _diff_calibration(old: Dict[str, Any], new: Dict[str, Any],
+                      old_name: str, new_name: str,
+                      top: int) -> List[str]:
+    """Term-by-term diff of two CALIBRATION artifacts."""
+    lines = [f"diff (calibration): {old_name} -> {new_name}"]
+    if old.get("backend") != new.get("backend"):
+        lines.append(f"  note: different backends "
+                     f"({old.get('backend')} -> {new.get('backend')})")
+    term_pairs = []
+    old_terms = old.get("fitted_terms_us") or {}
+    new_terms = new.get("fitted_terms_us") or {}
+    for name in sorted(set(old_terms) | set(new_terms)):
+        term_pairs.append((f"fitted {name} us", old_terms.get(name),
+                           new_terms.get(name), "", 4))
+    term_pairs.append(("relative |residual|",
+                       old.get("relative_abs_residual"),
+                       new.get("relative_abs_residual"), "", 6))
+    body = _metric_lines(term_pairs, "  ")
+    body += _delta_lines(old.get("measured_us_per_call") or {},
+                         new.get("measured_us_per_call") or {},
+                         top, "  measured us/call: ")
+    if not body:
+        body = ["  fitted terms and residuals are identical"]
+    return lines + body
+
+
+def _generic_fallback_diff(old: Dict[str, Any], new: Dict[str, Any],
+                           old_name: str, new_name: str,
+                           top: int) -> str:
+    """Schema-mismatch fallback: warn, then diff the shared numeric
+    leaves instead of refusing outright."""
+    lines = [
+        f"warning: artifact schemas differ ({old_name} is "
+        f"{artifact_kind(old)!r} v{old.get('artifact_version', '?')}, "
+        f"{new_name} is {artifact_kind(new)!r} "
+        f"v{new.get('artifact_version', '?')}); "
+        "falling back to a generic diff of the shared keys",
+    ]
+    old_flat = flatten_numeric(
+        {k: v for k, v in old.items() if k not in _HOST_KEYS})
+    new_flat = flatten_numeric(
+        {k: v for k, v in new.items() if k not in _HOST_KEYS})
+    shared = sorted(set(old_flat) & set(new_flat))
+    deltas = [(key, new_flat[key] - old_flat[key]) for key in shared]
+    deltas = [(k, d) for k, d in deltas if abs(d) > 1e-12]
+    deltas.sort(key=lambda kd: -abs(kd[1]))
+    if deltas:
+        lines.append(f"  {len(shared)} shared numeric leaves, "
+                     f"{len(deltas)} changed:")
+        lines.extend(f"  {key}  {delta:+g}" for key, delta in deltas[:top])
+        if len(deltas) > top:
+            lines.append(f"  ... {len(deltas) - top} more changed leaf(s)")
+    elif shared:
+        lines.append(f"  all {len(shared)} shared numeric leaves "
+                     "are identical")
+    else:
+        lines.append("  no shared numeric keys to compare")
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------------
 # the renderer
 # ---------------------------------------------------------------------------
@@ -211,13 +280,27 @@ def _pathology_lines(old: Optional[Dict[str, Any]],
 def render_diff(old: Dict[str, Any], new: Dict[str, Any],
                 old_name: str = "old", new_name: str = "new",
                 top: int = 8) -> str:
-    """Human-readable attributed diff of two same-kind artifacts."""
+    """Human-readable attributed diff of two artifacts.
+
+    Same-kind BENCH/CAPACITY/CALIBRATION artifacts get the attributed
+    per-entry treatment; mismatched kinds or schemas degrade to a
+    warning plus a generic numeric diff of whatever keys are shared
+    (never an error -- new artifact schemas must stay diffable against
+    old ones).
+    """
     kind = artifact_kind(old)
     if kind == "unknown" or artifact_kind(new) != kind:
-        return (f"cannot diff: {old_name} is {artifact_kind(old)!r}, "
-                f"{new_name} is {artifact_kind(new)!r} "
-                "(need two BENCH or two CAPACITY artifacts)")
+        return _generic_fallback_diff(old, new, old_name, new_name, top)
+    if kind == "calibration":
+        return "\n".join(_diff_calibration(old, new, old_name, new_name,
+                                           top))
     lines = [f"diff ({kind}): {old_name} -> {new_name}"]
+    old_version = old.get("artifact_version")
+    new_version = new.get("artifact_version")
+    if old_version != new_version:
+        lines.append(f"  warning: artifact versions differ "
+                     f"({old_version} -> {new_version}); only keys both "
+                     "schemas share are compared meaningfully")
     old_fp, new_fp = old.get("fingerprint"), new.get("fingerprint")
     if old_fp != new_fp:
         lines.append(f"  note: config fingerprints differ "

@@ -17,10 +17,14 @@ from ..http.content import StaticSite
 from ..servers.base import BaseServer
 from ..servers.hybrid import HybridConfig, HybridServer
 from ..servers.phhttpd import PhhttpdConfig, PhhttpdServer
-from ..servers.thttpd import ThttpdServer
-from ..servers.thttpd_select import ThttpdSelectServer
-from ..servers.thttpd_devpoll import DevpollServerConfig, ThttpdDevpollServer
-from ..servers.thttpd_epoll import EpollServerConfig, ThttpdEpollServer
+from ..servers.thttpd import (
+    DevpollServerConfig,
+    EpollServerConfig,
+    ThttpdDevpollServer,
+    ThttpdEpollServer,
+    ThttpdSelectServer,
+    ThttpdServer,
+)
 from ..sim.stats import RateSummary
 from .httperf import HttperfClient, HttperfConfig, HttperfResult
 from .inactive import InactiveConnectionPool, InactivePoolConfig
@@ -56,6 +60,10 @@ BACKEND_TO_KIND: Dict[str, str] = {
     "devpoll": "thttpd-devpoll",
     "epoll": "thttpd-epoll",
     "rtsig": "phhttpd",
+    # the live backends run the unified loop on the live runtime; a
+    # point naming one must also set runtime="live" (checked below)
+    "live-epoll": "thttpd",
+    "live-select": "thttpd",
 }
 
 
@@ -69,6 +77,10 @@ class BenchmarkPoint:
     #: regardless of ``server``.  ``None`` (the default) keeps the
     #: historical behaviour -- and the historical record shape.
     backend: Optional[str] = None
+    #: execution substrate: "sim" (the default, simulated kernel) or
+    #: "live" (real localhost sockets via :mod:`repro.runtime.live`);
+    #: live points need a ``live-*`` backend (or None for the default)
+    runtime: str = "sim"
     rate: float = 500.0
     inactive: int = 1
     duration: float = 10.0
@@ -181,8 +193,20 @@ def make_server(kind: str, kernel, site: Optional[StaticSite] = None,
     return factory(kernel, site)
 
 
-def run_point(point: BenchmarkPoint) -> PointResult:
-    """Execute one benchmark point from a cold testbed."""
+def run_point(point: BenchmarkPoint):
+    """Execute one benchmark point: a cold simulated testbed, or -- when
+    ``point.runtime == "live"`` -- real localhost sockets."""
+    live_backend = point.backend is not None and \
+        point.backend.startswith("live-")
+    if point.runtime == "live":
+        from .live import run_live_point
+
+        return run_live_point(point)
+    if point.runtime != "sim":
+        raise ValueError(f"unknown runtime {point.runtime!r}; "
+                         f"choose 'sim' or 'live'")
+    if live_backend:
+        raise ValueError(f"backend {point.backend!r} needs runtime='live'")
     if point.testbed is not None:
         tb_config = point.testbed
     else:

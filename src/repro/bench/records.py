@@ -44,7 +44,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports; a
 #:      present only when the point ran with ``trace=True``; untraced
 #:      records -- and therefore every existing fingerprint -- are
 #:      byte-identical to v4.
-RECORD_VERSION = 5
+#: 6 -- adds the runtime axis: ``runtime`` ("live") and the ``live``
+#:      calibration block (listen port, measured wall time per real
+#:      syscall, the cost model's predicted CPU per category, backend
+#:      wait stats), present only on points run with ``runtime="live"``
+#:      (:mod:`repro.bench.live`); simulated records -- and therefore
+#:      every existing fingerprint -- are byte-identical to v5.
+RECORD_VERSION = 6
 
 #: Per-point artifact keys that measure the *host*, not the simulation:
 #: they differ run-to-run and between serial and parallel execution, so

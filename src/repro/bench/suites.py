@@ -136,6 +136,8 @@ def point_config(point: BenchmarkPoint) -> Dict[str, Any]:
     }
     if point.backend is not None:
         config["backend"] = point.backend
+    if point.runtime != "sim":
+        config["runtime"] = point.runtime
     if point.cpus != 1:
         config["cpus"] = point.cpus
     if point.workers != 1:

@@ -17,6 +17,7 @@ from .select_backend import SelectBackend
 from .devpoll_backend import DevpollBackend
 from .rtsig_backend import RTSIG_OVERFLOW, RtsigBackend
 from .epoll_backend import EpollBackend
+from .live_backend import LiveEpollBackend, LiveSelectBackend
 
 __all__ = [
     "BACKENDS",
@@ -29,4 +30,6 @@ __all__ = [
     "RtsigBackend",
     "RTSIG_OVERFLOW",
     "EpollBackend",
+    "LiveEpollBackend",
+    "LiveSelectBackend",
 ]

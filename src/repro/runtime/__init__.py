@@ -1,0 +1,18 @@
+"""Execution substrates: the simulated kernel or the real host OS."""
+
+from .base import LIVE, RUNTIMES, SIM, Runtime, ensure_runtime, register_runtime
+from .live import LiveKernel, LiveRuntime, LiveSyscallInterface
+from .sim import SimRuntime
+
+__all__ = [
+    "LIVE",
+    "LiveKernel",
+    "LiveRuntime",
+    "LiveSyscallInterface",
+    "RUNTIMES",
+    "Runtime",
+    "SIM",
+    "SimRuntime",
+    "ensure_runtime",
+    "register_runtime",
+]

@@ -11,14 +11,20 @@ from .base import (
 )
 from .hybrid import HybridConfig, HybridServer
 from .phhttpd import PhhttpdConfig, PhhttpdServer
-from .thttpd import ThttpdServer
-from .thttpd_devpoll import DevpollServerConfig, ThttpdDevpollServer
-from .thttpd_select import ThttpdSelectServer
+from .thttpd import (
+    DevpollServerConfig,
+    EpollServerConfig,
+    ThttpdDevpollServer,
+    ThttpdEpollServer,
+    ThttpdSelectServer,
+    ThttpdServer,
+)
 
 __all__ = [
     "BaseServer",
     "Connection",
     "DevpollServerConfig",
+    "EpollServerConfig",
     "HybridConfig",
     "HybridServer",
     "PhhttpdConfig",
@@ -27,6 +33,7 @@ __all__ = [
     "ServerConfig",
     "ServerStats",
     "ThttpdDevpollServer",
+    "ThttpdEpollServer",
     "ThttpdSelectServer",
     "ThttpdServer",
     "WRITING",

@@ -19,11 +19,10 @@ from ..kernel.constants import (
     O_NONBLOCK,
     SyscallError,
 )
-from ..kernel.syscalls import SyscallInterface
-from ..kernel.task import Task
+from ..runtime.base import ensure_runtime
 from ..sim.resources import PRIO_USER
 from ..obs.latency import LatencyHistogram
-from ..sim.process import Process, spawn
+from ..sim.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.kernel import Kernel
@@ -160,13 +159,17 @@ class BaseServer:
 
     def __init__(self, kernel: "Kernel", site: Optional[StaticSite] = None,
                  config: Optional[ServerConfig] = None):
-        self.kernel = kernel
+        # ``kernel`` may be a bare simulated Kernel (every historical
+        # call site) or a Runtime; either way the server only ever
+        # talks to the substrate through ``self.runtime`` from here on
+        self.runtime = ensure_runtime(kernel)
+        self.kernel = self.runtime.kernel
         self.site = site if site is not None else StaticSite()
         self.config = config if config is not None else ServerConfig()
-        self.task: Task = kernel.new_task(
+        self.task = self.runtime.new_task(
             f"{self.name}", fd_limit=self.config.fd_limit,
             rtsig_max=self.config.rtsig_max)
-        self.sys = SyscallInterface(self.task)
+        self.sys = self.runtime.make_sys(self.task)
         self.stats = ServerStats()
         #: server-side service time (accept -> response written), in ms;
         #: always on (one log-bucket increment per response) so the
@@ -177,7 +180,7 @@ class BaseServer:
         self.listen_fd: int = -1
         self.running = False
         self._process: Optional[Process] = None
-        costs = kernel.costs
+        costs = self.kernel.costs
         #: per-request parse/cache/build charges as one fused grant
         #: (uniprocessor fast path in handle_readable)
         self._http_parts = (
@@ -199,7 +202,7 @@ class BaseServer:
     # ------------------------------------------------------------------
     def start(self) -> Process:
         self.running = True
-        self._process = spawn(self.kernel.sim, self.run(), name=self.name)
+        self._process = self.runtime.start_server(self)
         return self._process
 
     def stop(self) -> None:

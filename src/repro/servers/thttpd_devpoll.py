@@ -1,70 +1,22 @@
-"""thttpd modified to use /dev/poll (the paper's section 5.1 server).
+"""Deprecated alias module: use :mod:`repro.servers.thttpd`.
 
-Deprecated module alias: the loop now lives once in
-:class:`repro.servers.thttpd.ThttpdServer` and the mechanism in
-:class:`repro.events.devpoll_backend.DevpollBackend`; this subclass
-only pins ``backend="devpoll"`` and defaults the config to
-:class:`DevpollServerConfig`.  Prefer ``ThttpdServer(kernel,
-backend="devpoll", config=DevpollServerConfig(...))`` in new code.
-
-Differences from stock thttpd, mirroring the authors' modification:
-
-* the interest set lives in the kernel and is updated *incrementally* --
-  adds, event-mask changes, and POLLREMOVEs are queued in userspace and
-  flushed with a single ``write()`` per loop iteration (ordering within
-  the batch keeps fd-reuse correct);
-* waiting is ``ioctl(DP_POLL)``, which returns only ready descriptors,
-  so userspace scans ready results instead of the whole interest set;
-* optionally the mmap'd result area (section 3.3) removes the result
-  copy-out, and ``DP_POLL_WRITE`` (section 6 future work) folds the
-  update write and the poll into one system call.
+:class:`~repro.servers.thttpd.ThttpdDevpollServer` and
+:class:`~repro.servers.thttpd.DevpollServerConfig` now live alongside
+the unified loop; prefer ``ThttpdServer(kernel, backend="devpoll",
+config=DevpollServerConfig(...))`` in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import warnings
 
-from ..core.devpoll import DevPollConfig
-from .base import ServerConfig
-from .thttpd import ThttpdServer
+from .thttpd import DevpollServerConfig, ThttpdDevpollServer
 
+__all__ = ["DevpollServerConfig", "ThttpdDevpollServer"]
 
-@dataclass
-class DevpollServerConfig(ServerConfig):
-    #: share the result area between kernel and server (section 3.3)
-    use_mmap: bool = True
-    #: fold update-write + poll into one syscall (section 6 future work)
-    combined_update_poll: bool = False
-    #: maximum results per DP_POLL
-    result_capacity: int = 1024
-    #: kernel-side /dev/poll behaviour (hints, hash-vs-linear, OR-mode)
-    devpoll: DevPollConfig = field(default_factory=DevPollConfig)
-
-
-class ThttpdDevpollServer(ThttpdServer):
-    name = "thttpd-devpoll"
-    backend_name = "devpoll"
-
-    def __init__(self, kernel, site=None, config: Optional[DevpollServerConfig] = None):
-        super().__init__(kernel, site,
-                         config if config is not None else DevpollServerConfig())
-
-    # -- compatibility views over the backend's state ------------------
-
-    @property
-    def dp_fd(self) -> int:
-        return self.backend.dp_fd
-
-    @property
-    def _updates(self):
-        return self.backend._updates
-
-    @property
-    def _result_area(self):
-        return self.backend._result_area
-
-    @property
-    def devpoll_file(self):
-        """The kernel-side /dev/poll object (for stats in tests/benches)."""
-        return self.task.fdtable.lookup(self.backend.dp_fd)
+warnings.warn(
+    "repro.servers.thttpd_devpoll is deprecated; import "
+    "ThttpdDevpollServer/DevpollServerConfig from repro.servers",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,46 +1,22 @@
-"""thttpd on epoll: the mechanism Linux eventually shipped.
+"""Deprecated alias module: use :mod:`repro.servers.thttpd`.
 
-The epoll interface (``/dev/epoll`` in late 2000, the ``epoll_*``
-syscalls in 2.5.44) is the direct descendant of the paper's /dev/poll
-work; this server runs the unified thttpd loop on
-:class:`repro.events.epoll_backend.EpollBackend` so the benchmark
-suite can place it on the same figures as the mechanisms the paper
-measured.  See :mod:`repro.core.epoll` for the kernel side and
-``docs/cost_model.md`` for the cost entries.
+:class:`~repro.servers.thttpd.ThttpdEpollServer` and
+:class:`~repro.servers.thttpd.EpollServerConfig` now live alongside the
+unified loop; prefer ``ThttpdServer(kernel, backend="epoll",
+config=EpollServerConfig(...))`` in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import warnings
 
-from .base import ServerConfig
-from .thttpd import ThttpdServer
+from .thttpd import EpollServerConfig, ThttpdEpollServer
 
+__all__ = ["EpollServerConfig", "ThttpdEpollServer"]
 
-@dataclass
-class EpollServerConfig(ServerConfig):
-    #: arm connection fds with EPOLLET (one report per readiness edge)
-    edge_triggered: bool = False
-    #: maximum events per epoll_wait
-    max_events: int = 1024
-
-
-class ThttpdEpollServer(ThttpdServer):
-    name = "thttpd-epoll"
-    backend_name = "epoll"
-
-    def __init__(self, kernel, site=None, config: Optional[EpollServerConfig] = None):
-        super().__init__(kernel, site,
-                         config if config is not None else EpollServerConfig())
-
-    # -- compatibility views over the backend's state ------------------
-
-    @property
-    def ep_fd(self) -> int:
-        return self.backend.ep_fd
-
-    @property
-    def epoll_file(self):
-        """The kernel-side epoll object (for stats in tests/benches)."""
-        return self.task.fdtable.lookup(self.backend.ep_fd)
+warnings.warn(
+    "repro.servers.thttpd_epoll is deprecated; import "
+    "ThttpdEpollServer/EpollServerConfig from repro.servers",
+    DeprecationWarning,
+    stacklevel=2,
+)

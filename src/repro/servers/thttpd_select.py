@@ -1,51 +1,22 @@
-"""thttpd running its fdwatch layer on select() instead of poll().
+"""Deprecated alias module: use :mod:`repro.servers.thttpd`.
 
-Deprecated module alias: the loop now lives once in
-:class:`repro.servers.thttpd.ThttpdServer` and the mechanism in
-:class:`repro.events.select_backend.SelectBackend`; this subclass only
-pins ``backend="select"`` and keeps the FD_SETSIZE refusal counter.
-Prefer ``ThttpdServer(kernel, backend="select")`` in new code.
-
-The select() build is the oldest fdwatch configuration and carries
-select's two structural penalties, both modelled in the backend:
-
-* every call copies bitmaps proportional to the *highest* watched fd,
-  then scans every watched descriptor anyway;
-* the interest set is hard-capped at ``FD_SETSIZE`` (1024) -- beyond it
-  the server must refuse connections outright.  This cap is exactly why
-  the authors' stock httperf "assumes that the maximum is 1024"
-  (section 5).
+:class:`~repro.servers.thttpd.ThttpdSelectServer` now lives alongside
+the unified loop; prefer ``ThttpdServer(kernel, backend="select")`` (or
+the class itself from ``repro.servers``) in new code.
 """
 
 from __future__ import annotations
 
-from ..core.select_syscall import FD_SETSIZE
-from .thttpd import ThttpdServer
+import warnings
 
+from ..core.select_syscall import FD_SETSIZE  # noqa: F401  (legacy re-export)
+from .thttpd import ThttpdSelectServer
 
-class ThttpdSelectServer(ThttpdServer):
-    name = "thttpd-select"
-    backend_name = "select"
+__all__ = ["ThttpdSelectServer"]
 
-    def __init__(self, kernel, site=None, config=None):
-        super().__init__(kernel, site, config)
-        #: connections refused because the watch set hit FD_SETSIZE
-        self.fd_setsize_refusals = 0
-
-    def accept_new(self):
-        """Like the base accept loop, but connections whose descriptor
-        would not fit in an fd_set are closed on the spot."""
-        capacity = self.backend.fd_capacity or FD_SETSIZE
-        new_conns = yield from super().accept_new()
-        kept = []
-        for conn in new_conns:
-            if conn.fd >= capacity:
-                self.fd_setsize_refusals += 1
-                yield from self.close_conn(conn)
-            else:
-                kept.append(conn)
-        return kept
-
-    def select_loop(self):
-        """Backwards-compatible name for the unified loop."""
-        yield from self.poll_loop()
+warnings.warn(
+    "repro.servers.thttpd_select is deprecated; import ThttpdSelectServer "
+    "from repro.servers (or use ThttpdServer(kernel, backend='select'))",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,0 +1,233 @@
+"""Tests for the cost-model calibration fit (repro calibrate).
+
+The numeric core (least squares, the non-negativity refinement) is
+tested against synthetic data with known ground truth; the driver is
+tested with a stubbed live runner so no real sockets are opened here --
+the live grid itself is exercised by ``tests/runtime/test_live.py`` and
+the CI live-smoke job.
+"""
+
+import pytest
+
+from repro.bench import calibrate
+from repro.bench.calibrate import (
+    CALIBRATION_VERSION,
+    FEATURE_NAMES,
+    default_calibration_path,
+    dump_calibration,
+    fit_least_squares,
+    fit_nonnegative,
+    fit_observations,
+    load_calibration,
+    observation_from_result,
+    run_calibration,
+    solve_linear_system,
+)
+
+
+# ---------------------------------------------------------------------------
+# the numeric core
+# ---------------------------------------------------------------------------
+
+def test_solve_linear_system_exact():
+    x = solve_linear_system([[2.0, 1.0], [1.0, 3.0]], [5.0, 10.0])
+    assert x[0] == pytest.approx(1.0)
+    assert x[1] == pytest.approx(3.0)
+
+
+def test_solve_linear_system_rejects_singular():
+    with pytest.raises(ValueError, match="singular"):
+        solve_linear_system([[1.0, 2.0], [2.0, 4.0]], [1.0, 2.0])
+
+
+def test_least_squares_recovers_known_coefficients():
+    truth = [2.2e-6, 1.2e-7, 2.8e-7, 1.0e-5]
+    design = [
+        [100.0, 0.0, 30.0, 10.0],
+        [100.0, 500.0, 30.0, 10.0],
+        [300.0, 0.0, 90.0, 30.0],
+        [300.0, 2000.0, 95.0, 31.0],
+        [700.0, 500.0, 210.0, 70.0],
+        [50.0, 2000.0, 14.0, 5.0],
+    ]
+    targets = [sum(c * f for c, f in zip(truth, row)) for row in design]
+    fitted = fit_least_squares(design, targets)
+    for got, want in zip(fitted, truth):
+        assert got == pytest.approx(want, rel=1e-6)
+
+
+def test_least_squares_needs_enough_observations():
+    with pytest.raises(ValueError, match="at least 2 observations"):
+        fit_least_squares([[1.0, 2.0]], [3.0])
+    with pytest.raises(ValueError, match="no observations"):
+        fit_least_squares([], [])
+
+
+def test_nonnegative_fit_matches_ols_when_already_positive():
+    design = [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]
+    targets = [2.0, 3.0, 5.0]
+    assert fit_nonnegative(design, targets) == \
+        pytest.approx(fit_least_squares(design, targets))
+
+
+def test_nonnegative_fit_clamps_and_refits():
+    # ground truth prices column 1 negatively -- physically impossible
+    # for a cost term, so the constrained fit must zero it and refit
+    design = [[1.0, 2.0], [2.0, 3.9], [3.0, 6.1], [4.0, 8.0]]
+    targets = [1.2 * c0 - 0.1 * c1 for c0, c1 in design]
+    unconstrained = fit_least_squares(design, targets)
+    assert min(unconstrained) < 0.0  # the premise of the test
+    clamped = fit_nonnegative(design, targets)
+    assert all(c >= 0.0 for c in clamped)
+    assert clamped[1] == 0.0
+    assert clamped[0] == pytest.approx(1.0, rel=0.05)
+
+
+def test_fit_observations_recovers_terms_and_reports_residuals():
+    truth = {"syscall_entry": 3.0e-6, "scan_per_registered_fd": 1.5e-7,
+             "copyout_per_event": 4.0e-7, "accept_op": 1.2e-5}
+    rows = [
+        (350.0, 0.0, 100.0, 100.0),
+        (350.0, 640.0, 100.0, 100.0),
+        (900.0, 0.0, 250.0, 250.0),
+        (880.0, 1300.0, 255.0, 250.0),
+        (120.0, 5000.0, 33.0, 33.0),
+        (2000.0, 640.0, 610.0, 600.0),
+    ]
+    observations = []
+    for syscalls, registered, events, accepts in rows:
+        wall = (truth["syscall_entry"] * syscalls
+                + truth["scan_per_registered_fd"] * registered
+                + truth["copyout_per_event"] * events
+                + truth["accept_op"] * accepts)
+        observations.append({"syscalls": syscalls,
+                             "registered_sum": registered,
+                             "events": events, "accepts": accepts,
+                             "measured_wall_s": wall})
+    fit = fit_observations(observations)
+    assert set(fit["fitted_terms_us"]) == set(FEATURE_NAMES)
+    assert fit["fitted_terms_us"]["accept_op"] == \
+        pytest.approx(truth["accept_op"] * 1e6, rel=0.05)
+    assert fit["relative_abs_residual"] < 0.01
+    assert len(fit["predictions"]) == len(observations)
+    for prediction in fit["predictions"]:
+        assert abs(prediction["residual_us"]) <= \
+            abs(prediction["measured_wall_us"]) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# the driver, with a stubbed live runner
+# ---------------------------------------------------------------------------
+
+class _StubStats:
+    def __init__(self, registered_sum, events):
+        self.registered_sum = registered_sum
+        self.events = events
+
+
+class _StubResult:
+    """Duck-types the slices of LivePointResult calibration reads."""
+
+    def __init__(self, rate, idle, duration):
+        requests = int(rate * duration)
+        syscalls = requests * 4 + 20
+        self.runtime = self
+        self.syscall_counts = {"accept": requests, "read": requests,
+                               "write": requests, "close": requests + 20,
+                               "epoll_wait": requests}
+        self.syscall_wall = {name: count * 5e-6
+                             for name, count in self.syscall_counts.items()}
+        self.syscall_wall["epoll_wait"] = duration  # blocking, excluded
+        self._syscalls = syscalls
+        self.server = self
+        self.backend = self
+        self.stats = _StubStats(registered_sum=idle * requests,
+                                events=requests + idle)
+        self.server_stats = self
+        self.accepts = requests
+        self.httperf = self
+        self.replies_ok = requests
+        self.error_percent = 0.0
+
+    def measured_summary(self):
+        return {name: {"count": count,
+                       "wall_us": round(self.syscall_wall[name] * 1e6, 1),
+                       "wall_us_per_call": round(
+                           self.syscall_wall[name] / count * 1e6, 2)}
+                for name, count in self.syscall_counts.items()}
+
+
+def test_observation_excludes_wait_syscalls():
+    obs = observation_from_result(_StubResult(100.0, 2, 1.0))
+    # epoll_wait's count and (large, blocking) wall time are excluded
+    assert obs["syscalls"] == 100 * 3 + 120
+    assert obs["measured_wall_s"] == pytest.approx((100 * 3 + 120) * 5e-6)
+    assert obs["accepts"] == 100.0
+
+
+def test_run_calibration_artifact_schema(monkeypatch):
+    import repro.bench.live as live
+
+    ran = []
+
+    def stub_run(point):
+        ran.append((point.rate, point.inactive))
+        assert point.runtime == "live"
+        return _StubResult(point.rate, point.inactive, point.duration)
+
+    monkeypatch.setattr(live, "run_live_point", stub_run)
+    seen = []
+    artifact = run_calibration(rates=(100.0, 300.0), inactive=(0, 8, 64),
+                               duration=1.0, backend="live-epoll",
+                               on_point=seen.append)
+    assert ran == [(100.0, 0), (100.0, 8), (100.0, 64),
+                   (300.0, 0), (300.0, 8), (300.0, 64)]
+    assert len(seen) == 6
+    assert artifact["calibration_version"] == CALIBRATION_VERSION
+    assert artifact["backend"] == "live-epoll"
+    assert artifact["runtime"] == "live"
+    assert artifact["grid"] == {"rates": [100.0, 300.0],
+                                "inactive": [0, 8, 64]}
+    assert set(artifact["fitted_terms_us"]) == set(FEATURE_NAMES)
+    assert set(artifact["sim_terms_us"]) == set(FEATURE_NAMES)
+    assert set(artifact["fit_over_sim_ratio"]) == set(FEATURE_NAMES)
+    assert isinstance(artifact["clamped_terms"], list)
+    assert len(artifact["points"]) == 6
+    for block in artifact["points"]:
+        assert set(block["features"]) == {"syscalls", "registered_sum",
+                                          "events", "accepts"}
+        assert "residual_us" in block
+        assert "accept" in block["measured_syscalls"]
+    assert artifact["measured_us_per_call"]["accept"] == pytest.approx(5.0)
+
+
+def test_calibration_roundtrip_and_version_gate(tmp_path, monkeypatch):
+    import repro.bench.live as live
+
+    monkeypatch.setattr(
+        live, "run_live_point",
+        lambda point: _StubResult(point.rate, point.inactive,
+                                  point.duration))
+    artifact = run_calibration(rates=(100.0, 250.0), inactive=(0, 32),
+                               backend="live-select")
+    path = tmp_path / default_calibration_path("live-select")
+    assert path.name == "CALIBRATION_live_select.json"
+    dump_calibration(artifact, str(path))
+    loaded = load_calibration(str(path))
+    assert loaded["fitted_terms_us"] == artifact["fitted_terms_us"]
+
+    bad = dict(artifact, calibration_version=CALIBRATION_VERSION + 1)
+    bad_path = tmp_path / "bad.json"
+    dump_calibration(bad, str(bad_path))
+    with pytest.raises(ValueError, match="unsupported calibration version"):
+        load_calibration(str(bad_path))
+
+
+def test_default_grid_is_overdetermined():
+    # the fit has 4 unknowns; the default grid must give it slack
+    import inspect
+
+    signature = inspect.signature(run_calibration)
+    rates = signature.parameters["rates"].default
+    inactive = signature.parameters["inactive"].default
+    assert len(rates) * len(inactive) > len(calibrate.FEATURE_NAMES)

@@ -23,9 +23,17 @@ def _bench(fingerprint, entries):
             "points": entries}
 
 
+def _calibration(fitted, residual=0.05, measured=None, backend="live-epoll"):
+    return {"calibration_version": 1, "backend": backend,
+            "fitted_terms_us": fitted,
+            "relative_abs_residual": residual,
+            "measured_us_per_call": measured or {}}
+
+
 def test_artifact_kind_by_shape():
     assert artifact_kind({"points": []}) == "bench"
     assert artifact_kind({"cells": []}) == "capacity"
+    assert artifact_kind({"fitted_terms_us": {}}) == "calibration"
     assert artifact_kind({"figures": []}) == "unknown"
 
 
@@ -45,9 +53,67 @@ def test_identical_artifacts_diff_clean():
     assert "note:" not in text
 
 
-def test_mismatched_kinds_refuse():
-    text = render_diff({"points": []}, {"cells": []})
-    assert text.startswith("cannot diff")
+def test_mismatched_kinds_degrade_to_shared_key_diff():
+    # a schema mismatch warns and diffs what it can, never refuses
+    old = {"points": [], "artifact_version": 3, "total": 5.0}
+    new = {"cells": [], "artifact_version": 1, "total": 8.0}
+    text = render_diff(old, new)
+    assert not text.startswith("cannot diff")
+    assert "warning: artifact schemas differ" in text
+    assert "'bench' v3" in text and "'capacity' v1" in text
+    assert "total  +3" in text
+
+
+def test_fallback_diff_only_compares_shared_keys():
+    old = {"points": [], "only_old": 1.0, "shared": 2.0}
+    new = {"cells": [], "only_new": 9.0, "shared": 2.0}
+    text = render_diff(old, new)
+    assert "only_old" not in text and "only_new" not in text
+    assert "all 1 shared numeric leaves are identical" in text
+
+
+def test_fallback_diff_with_nothing_shared():
+    text = render_diff({"points": [], "a": 1.0}, {"cells": [], "b": 2.0})
+    assert "no shared numeric keys to compare" in text
+
+
+def test_fallback_diff_excludes_host_keys():
+    old = {"points": [], "created_unix": 1.0, "wall_clock_s": 4.0}
+    new = {"cells": [], "created_unix": 99.0, "wall_clock_s": 9.0}
+    text = render_diff(old, new)
+    assert "created_unix" not in text and "wall_clock_s" not in text
+
+
+def test_bench_version_mismatch_warns_but_diffs():
+    old = _bench("f", [_bench_entry("t@150/1", 150.0, 2.0, 0.5)])
+    new = _bench("f", [_bench_entry("t@150/1", 120.0, 2.0, 0.5)])
+    old["artifact_version"] = 2
+    text = render_diff(old, new)
+    assert "warning: artifact versions differ (2 -> 3)" in text
+    assert "replies/s avg:  150.0 -> 120.0" in text
+
+
+def test_calibration_artifacts_diff_term_by_term():
+    old = _calibration({"syscall_entry": 2.0, "accept_op": 10.0},
+                       residual=0.05,
+                       measured={"accept": 15.0, "read": 3.0})
+    new = _calibration({"syscall_entry": 4.0, "accept_op": 10.0},
+                       residual=0.08,
+                       measured={"accept": 18.0, "read": 3.0})
+    text = render_diff(old, new, old_name="A", new_name="B")
+    assert text.startswith("diff (calibration): A -> B")
+    assert "fitted syscall_entry us:  2.0000 -> 4.0000" in text
+    assert "accept_op" not in text  # unchanged terms never print
+    assert "relative |residual|:  0.050000 -> 0.080000" in text
+    assert "measured us/call: accept  +3" in text
+
+
+def test_calibration_diff_notes_backend_mismatch():
+    old = _calibration({"accept_op": 10.0}, backend="live-epoll")
+    new = _calibration({"accept_op": 10.0}, backend="live-select")
+    text = render_diff(old, new)
+    assert "different backends (live-epoll -> live-select)" in text
+    assert "identical" in text
 
 
 def test_headline_deltas_and_fingerprint_warning():

@@ -81,7 +81,10 @@ def open_file(server, name="conn"):
 # ---------------------------------------------------------------------------
 
 def test_registry_names_all_five_mechanisms():
-    assert set(BACKENDS) == {"select", "poll", "devpoll", "rtsig", "epoll"}
+    # the five simulated mechanisms from the paper; the live-* entries
+    # (real-socket runtime) register alongside them when available
+    sim = {name for name in BACKENDS if not name.startswith("live-")}
+    assert sim == {"select", "poll", "devpoll", "rtsig", "epoll"}
     assert BACKENDS["select"] is SelectBackend
     assert BACKENDS["poll"] is PollBackend
     assert BACKENDS["devpoll"] is DevpollBackend

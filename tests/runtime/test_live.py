@@ -1,0 +1,135 @@
+"""LiveRuntime end-to-end: real localhost sockets under the shared loop.
+
+These tests open real (ephemeral, loopback-only) sockets.  They are
+kept short -- fractions of a second of traffic -- because live points
+measure the host for real, unlike every other test in this repo.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.bench.harness import BenchmarkPoint, run_point
+from repro.bench.live import LIVE_BACKENDS, default_live_backend, run_live_point
+from repro.bench.records import RECORD_VERSION, point_record
+from repro.kernel.constants import EBADF, SyscallError
+from repro.runtime import LiveRuntime
+from repro.servers.thttpd import ThttpdServer
+
+
+def _call(gen):
+    """Drive a live syscall generator; it must return without yielding."""
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("live syscall generator yielded")
+
+
+# ---------------------------------------------------------------------------
+# the syscall surface, without a server
+# ---------------------------------------------------------------------------
+
+def test_live_syscalls_run_real_operations():
+    runtime = LiveRuntime()
+    task = runtime.new_task("t")
+    sys = runtime.make_sys(task)
+    fd = _call(sys.socket())
+    assert runtime.sockets[fd].fileno() == fd
+    _call(sys.bind(fd, 80))  # privileged -> remapped to ephemeral
+    assert runtime.bound_ports[fd] >= 1024
+    _call(sys.listen(fd, 8))
+    host, port = runtime.listen_address
+    assert port == runtime.bound_ports[fd]
+
+    client = socket.create_connection((host, port), timeout=2.0)
+    try:
+        runtime.sockets[fd].settimeout(2.0)
+        new_fd, addr = _call(sys.accept(fd))
+        client.sendall(b"ping")
+        runtime.sockets[new_fd].settimeout(2.0)
+        assert _call(sys.read(new_fd, 16)) == b"ping"
+        assert _call(sys.write(new_fd, b"pong")) == 4
+        assert client.recv(16) == b"pong"
+        _call(sys.close(new_fd))
+    finally:
+        client.close()
+    _call(sys.close(fd))
+    assert runtime.syscall_counts["accept"] == 1
+    assert runtime.syscall_wall["read"] > 0.0
+    # the modeled half accrued alongside the measured half
+    assert runtime.kernel.cpu.busy_time > 0.0
+
+
+def test_live_bad_fd_raises_ebadf():
+    runtime = LiveRuntime()
+    sys = runtime.make_sys(runtime.new_task("t"))
+    with pytest.raises(SyscallError) as err:
+        _call(sys.read(999, 16))
+    assert err.value.errno == EBADF
+
+
+# ---------------------------------------------------------------------------
+# whole points through the harness
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", LIVE_BACKENDS)
+def test_live_point_end_to_end(backend):
+    if backend == "live-epoll" and default_live_backend() != "live-epoll":
+        pytest.skip("no epoll on this host")
+    point = BenchmarkPoint(server="thttpd", backend=backend, runtime="live",
+                           rate=40.0, inactive=3, duration=0.5)
+    result = run_point(point)
+    assert result.httperf.replies_ok > 0
+    assert result.error_percent == 0.0
+    assert result.server_stats.responses == result.httperf.replies_ok
+
+    record = point_record(result)
+    assert record["runtime"] == "live"
+    assert record["backend"] == backend
+    assert record["replies_ok"] == result.httperf.replies_ok
+    live = record["live"]
+    assert live["listen_port"] >= 1024
+    assert live["measured_syscalls"]["accept"]["count"] > 0
+    assert live["backend_stats"]["events"] > 0
+    assert json.loads(json.dumps(record)) == record  # JSON-safe
+    assert RECORD_VERSION >= 6  # the version that added the live block
+
+
+def test_live_point_backend_defaults():
+    point = BenchmarkPoint(server="thttpd", runtime="live",
+                           rate=30.0, inactive=0, duration=0.3)
+    result = run_point(point)
+    assert result.point.backend == default_live_backend()
+    assert result.httperf.replies_ok > 0
+
+
+def test_run_point_rejects_live_backend_on_sim_runtime():
+    with pytest.raises(ValueError, match="needs runtime='live'"):
+        run_point(BenchmarkPoint(server="thttpd", backend="live-epoll"))
+
+
+def test_run_point_rejects_unknown_runtime():
+    with pytest.raises(ValueError, match="unknown runtime"):
+        run_point(BenchmarkPoint(server="thttpd", runtime="hardware"))
+
+
+def test_run_live_point_rejects_sim_backend():
+    with pytest.raises(ValueError):
+        run_live_point(BenchmarkPoint(server="thttpd", backend="poll",
+                                      runtime="live"))
+
+
+def test_server_crash_resurfaces_on_stop():
+    runtime = LiveRuntime()
+    server = ThttpdServer(runtime)
+
+    def boom():
+        raise RuntimeError("loop crashed")
+        yield  # pragma: no cover
+
+    server.run = boom
+    server.start()
+    with pytest.raises(RuntimeError, match="loop crashed"):
+        runtime.stop_server(server)

@@ -1,0 +1,55 @@
+"""The historical per-backend server modules are deprecation shims.
+
+``thttpd_select``/``thttpd_devpoll``/``thttpd_epoll`` were folded into
+:mod:`repro.servers.thttpd`; the old module names must keep importing
+(one release of grace) but warn, and must re-export the *same* class
+objects -- an ``isinstance`` check against either name has to agree.
+"""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+SHIMS = {
+    "repro.servers.thttpd_select": ("ThttpdSelectServer",),
+    "repro.servers.thttpd_devpoll": ("DevpollServerConfig",
+                                     "ThttpdDevpollServer"),
+    "repro.servers.thttpd_epoll": ("EpollServerConfig",
+                                   "ThttpdEpollServer"),
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(SHIMS))
+def test_shim_import_warns_deprecation(module_name):
+    sys.modules.pop(module_name, None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        importlib.import_module(module_name)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert deprecations, f"{module_name} did not warn"
+    assert "repro.servers.thttpd" in str(deprecations[0].message)
+
+
+@pytest.mark.parametrize("module_name,names", sorted(SHIMS.items()))
+def test_shim_reexports_the_canonical_classes(module_name, names):
+    canonical = importlib.import_module("repro.servers.thttpd")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        sys.modules.pop(module_name, None)
+        shim = importlib.import_module(module_name)
+    for name in names:
+        assert getattr(shim, name) is getattr(canonical, name), (
+            f"{module_name}.{name} is not the canonical class")
+
+
+def test_select_shim_keeps_fd_setsize():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        sys.modules.pop("repro.servers.thttpd_select", None)
+        shim = importlib.import_module("repro.servers.thttpd_select")
+    from repro.core.select_syscall import FD_SETSIZE
+
+    assert shim.FD_SETSIZE == FD_SETSIZE

@@ -202,3 +202,87 @@ def test_figures_with_backend(capsys):
                  "--backend", "epoll"]) == 0
     out = capsys.readouterr().out
     assert "fig05" in out
+
+
+def test_point_live_runtime(tmp_path, capsys):
+    record_path = tmp_path / "live.json"
+    assert main(["point", "thttpd", "40", "2", "--duration", "0.5",
+                 "--runtime", "live",
+                 "--record-out", str(record_path)]) == 0
+    out = capsys.readouterr().out
+    assert "(live)" in out
+    assert "real syscalls" in out
+
+    import json
+
+    record = json.loads(record_path.read_text())
+    assert record["runtime"] == "live"
+    assert record["backend"].startswith("live-")
+    assert record["replies_ok"] > 0
+    assert record["live"]["listen_port"] >= 1024
+
+
+def test_point_live_rejects_sim_only_flags(tmp_path, capsys):
+    assert main(["point", "thttpd", "40", "2", "--runtime", "live",
+                 "--trace", str(tmp_path / "t.jsonl")]) == 2
+    assert "simulation-only" in capsys.readouterr().err
+    assert main(["point", "thttpd", "40", "2", "--runtime", "live",
+                 "--cpus", "2"]) == 2
+    assert "simulation-only" in capsys.readouterr().err
+    assert main(["point", "thttpd", "40", "2", "--runtime", "live",
+                 "--backend", "poll"]) == 2
+    assert "live-epoll or live-select" in capsys.readouterr().err
+
+
+def test_point_live_backend_needs_live_runtime(capsys):
+    assert main(["point", "thttpd", "40", "2",
+                 "--backend", "live-epoll"]) == 2
+    assert "needs --runtime live" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [
+    ["profile", "thttpd", "100", "1", "--backend", "live-epoll"],
+    ["flame", "thttpd", "100", "1", "--backend", "live-epoll"],
+    ["trace", "thttpd", "100", "1", "--backend", "live-select"],
+    ["bench", "--suite", "smoke", "--backend", "live-epoll"],
+    ["capacity", "--backends", "live-epoll", "--inactive", "0"],
+    ["figures", "fig05", "--backend", "live-select"],
+])
+def test_sim_only_commands_reject_live_backends(argv, capsys):
+    assert main(argv) == 2
+    assert "simulation-only" in capsys.readouterr().err
+
+
+def test_calibrate_rejects_underdetermined_grid(capsys):
+    assert main(["calibrate", "--rates", "100", "--inactive", "0,64"]) == 2
+    assert ">= 4 grid points" in capsys.readouterr().err
+
+
+def test_calibrate_rejects_bad_grid_values(capsys):
+    assert main(["calibrate", "--rates", "100,fast"]) == 2
+    assert "bad grid value" in capsys.readouterr().err
+
+
+def test_calibrate_end_to_end(tmp_path, capsys, monkeypatch):
+    # stub the live grid runner; the CLI still drives the real fit,
+    # artifact build, and JSON write
+    import repro.bench.live as live
+    from tests.bench.test_calibrate import _StubResult
+
+    monkeypatch.setattr(
+        live, "run_live_point",
+        lambda point: _StubResult(point.rate, point.inactive,
+                                  point.duration))
+    out_path = tmp_path / "CAL.json"
+    assert main(["calibrate", "--rates", "100,300", "--inactive", "0,8,64",
+                 "--duration", "0.5", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "calibrating against the live kernel" in out
+    assert "syscall_entry" in out
+    assert f"calibration -> {out_path}" in out
+
+    from repro.bench.calibrate import load_calibration
+
+    artifact = load_calibration(str(out_path))
+    assert artifact["grid"] == {"rates": [100.0, 300.0],
+                                "inactive": [0, 8, 64]}
